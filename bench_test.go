@@ -1,0 +1,327 @@
+package pimsim
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment from scratch through the simulator
+// and reports the headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` both exercises the full stack and prints
+// the reproduced numbers next to the paper's anchors.
+
+import (
+	"sync"
+	"testing"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/dse"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+	"pimsim/internal/macmodel"
+	"pimsim/internal/models"
+	"pimsim/internal/runtime"
+	"pimsim/internal/sim"
+)
+
+var (
+	sysOnce sync.Once
+	pimSys  *sim.System
+	hostSys *sim.System
+	sysErr  error
+)
+
+func systems(b *testing.B) (*sim.System, *sim.System) {
+	b.Helper()
+	sysOnce.Do(func() {
+		pimSys, sysErr = sim.NewPIMSystem(hbm.VariantBase)
+		hostSys = sim.NewHostSystem(1)
+	})
+	if sysErr != nil {
+		b.Fatal(sysErr)
+	}
+	return pimSys, hostSys
+}
+
+// BenchmarkTable1MACModel evaluates the MAC area/energy estimator over
+// all Table I formats and reports the FP32/INT16 area ratio (paper 3.96).
+func BenchmarkTable1MACModel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := macmodel.TableI()
+		ratio = rows[5].Area / rows[0].Area
+	}
+	b.ReportMetric(ratio, "fp32/int16-area")
+}
+
+// BenchmarkTable2Combos enumerates the legal operand routings (paper: 114
+// compute + 24 movement).
+func BenchmarkTable2Combos(b *testing.B) {
+	var compute int
+	for i := 0; i < b.N; i++ {
+		compute = len(isa.ComputeCombos())
+	}
+	b.ReportMetric(float64(compute), "compute-combos")
+}
+
+// BenchmarkTable3Encode round-trips the whole legal instruction space
+// through the 32-bit Table III encoding.
+func BenchmarkTable3Encode(b *testing.B) {
+	combos := isa.ComputeCombos()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range combos {
+			in := isa.Instruction{Op: c.Op, Dst: c.Dst, Src0: c.Src0, Src1: c.Src1}
+			w, err := isa.Encode(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := isa.Decode(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4UnitThroughput measures the functional SIMD datapath: one
+// unit's 16-lane MAC rate in the software model.
+func BenchmarkTable4UnitThroughput(b *testing.B) {
+	acc := fp16.NewVector(fp16.Lanes)
+	x := fp16.NewVector(fp16.Lanes)
+	w := fp16.NewVector(fp16.Lanes)
+	for i := range x {
+		x[i] = fp16.FromFloat32(float32(i) * 0.25)
+		w[i] = fp16.FromFloat32(1.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp16.MACVec(acc, x, w)
+	}
+	b.ReportMetric(float64(fp16.Lanes), "lane-MACs/op")
+}
+
+// BenchmarkTable5DeviceBandwidth drives a steady AB-PIM MAC stream through
+// one pseudo channel and reports delivered on-chip GB/s (Table V: ~77
+// GB/s per channel at 1.2 GHz, 1.229 TB/s per 16-channel device).
+func BenchmarkTable5DeviceBandwidth(b *testing.B) {
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		g, err := sim.OnChipStreamGBps(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps = g
+	}
+	b.ReportMetric(gbps, "onchip-GB/s-per-pCH")
+}
+
+// BenchmarkTable6Microbench runs the whole Table VI set at batch 1.
+func BenchmarkTable6Microbench(b *testing.B) {
+	p, h := systems(b)
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		rs, err := sim.RunMicroSuite(p, h, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geo = sim.GeoMeanSpeedup(rs)
+	}
+	b.ReportMetric(geo, "geomean-xHBM")
+}
+
+// BenchmarkFig10GEMV reports the headline GEMV4 batch-1 speedup (paper
+// 11.2x).
+func BenchmarkFig10GEMV(b *testing.B) {
+	p, h := systems(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunMicro(p, h, sim.MicroSpec{Name: "GEMV4", M: 8192, K: 8192}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "xHBM(paper:11.2)")
+}
+
+// BenchmarkFig10ADD reports the ADD2 batch-1 speedup (paper ~1.6x).
+func BenchmarkFig10ADD(b *testing.B) {
+	p, h := systems(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunMicro(p, h, sim.MicroSpec{Name: "ADD2", N: 4 << 20}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "xHBM(paper:1.6)")
+}
+
+// BenchmarkFig10Apps evaluates all five applications at batch 1 and
+// reports the DS2 speedup (paper 3.5x).
+func BenchmarkFig10Apps(b *testing.B) {
+	p, h := systems(b)
+	var ds2 float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range models.All() {
+			r, err := sim.EvalApp(p, h, m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Name == "DS2" {
+				ds2 = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(ds2, "DS2-xHBM(paper:3.5)")
+}
+
+// BenchmarkFig10Batching runs the batch 1/2/4 sweep of the
+// microbenchmarks (the crossover study).
+func BenchmarkFig10Batching(b *testing.B) {
+	p, h := systems(b)
+	var b4gemv float64
+	for i := 0; i < b.N; i++ {
+		for _, batch := range []int{1, 2, 4} {
+			rs, err := sim.RunMicroSuite(p, h, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == 4 {
+				b4gemv = rs[3].Speedup
+			}
+		}
+	}
+	b.ReportMetric(b4gemv, "GEMV4-B4-xHBM(<1)")
+}
+
+// BenchmarkFig11Power reproduces the back-to-back RD power comparison and
+// reports the PIM/HBM power ratio (paper 1.054).
+func BenchmarkFig11Power(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.PowerRatio
+	}
+	b.ReportMetric(ratio, "power-ratio(paper:1.054)")
+}
+
+// BenchmarkFig12Energy reports the GEMV system-energy gain (paper 8.25x).
+func BenchmarkFig12Energy(b *testing.B) {
+	p, h := systems(b)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunFig12(p, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rows[0].PimEnergyGain
+	}
+	b.ReportMetric(gain, "GEMV-energy-gain(paper:8.25)")
+}
+
+// BenchmarkFig13Timeline builds the DS2 power-over-time traces.
+func BenchmarkFig13Timeline(b *testing.B) {
+	p, h := systems(b)
+	var segs int
+	for i := 0; i < b.N; i++ {
+		r, err := sim.EvalApp(p, h, models.DS2(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs = len(sim.PowerTimeline(r, p, true)) + len(sim.PowerTimeline(r, h, false))
+	}
+	b.ReportMetric(float64(segs), "segments")
+}
+
+// BenchmarkFig14DSE runs the full design space exploration and reports
+// the 2x variant's geomean gain over the product (paper ~+40%).
+func BenchmarkFig14DSE(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rs, err := dse.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rs[1].GeomeanOverBase
+	}
+	b.ReportMetric(gain, "2x-over-base(paper:~1.4)")
+}
+
+// BenchmarkFenceStudy reproduces the in-order controller analysis
+// (Section VII-B; the paper reads ~2x).
+func BenchmarkFenceStudy(b *testing.B) {
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunFenceStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geo = r.Geomean
+	}
+	b.ReportMetric(geo, "nofence-gain(paper:~2)")
+}
+
+// BenchmarkEncoderStudy reproduces the GNMT encoder-only analysis.
+func BenchmarkEncoderStudy(b *testing.B) {
+	p, h := systems(b)
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.EvalApp(p, h, models.GNMT().EncoderOnly(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = r.Speedup
+	}
+	b.ReportMetric(sp, "encoder-xHBM")
+}
+
+// BenchmarkFunctionalGemv measures the simulator itself: a fully
+// functional (bit-exact) GEMV through the device model.
+func BenchmarkFunctionalGemv(b *testing.B) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.PseudoChannels = 2
+	cfg.Functional = true
+	const M, K = 256, 512
+	W := fp16.NewVector(M * K)
+	x := fp16.NewVector(K)
+	for i := range W {
+		W[i] = fp16.FromFloat32(float32(i%13) * 0.1)
+	}
+	for i := range x {
+		x[i] = fp16.FromFloat32(float32(i%7) * 0.2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := hbm.MustNewDevice(cfg)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := blas.PimGemv(rt, W, M, K, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(2 * M * K))
+}
+
+// BenchmarkTimingOnlyGemv measures the event-driven fast path used by the
+// experiment sweeps.
+func BenchmarkTimingOnlyGemv(b *testing.B) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.Functional = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := hbm.MustNewDevice(cfg)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.SimChannels = 1
+		if _, _, err := blas.PimGemv(rt, nil, 4096, 8192, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(2 * 4096 * 8192)
+}

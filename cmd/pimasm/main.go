@@ -1,0 +1,90 @@
+// pimasm assembles and disassembles PIM microkernels.
+//
+//	pimasm < kernel.s            assemble to CRF words (hex)
+//	pimasm -d 0xa2118000 ...     disassemble words
+//	pimasm -example              print the paper's GEMV microkernel
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pimsim/internal/isa"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble hex words given as arguments")
+	example := flag.Bool("example", false, "print the GEMV microkernel")
+	flag.Parse()
+
+	switch {
+	case *example:
+		prog, err := isa.Assemble(`
+			MOV(AAM) GRF_A, EVEN_BANK          ; WR triggers push x splats
+			JUMP -1, 7
+			MAC(AAM) GRF_B, GRF_A, EVEN_BANK   ; RD triggers accumulate
+			JUMP -1, 7
+			JUMP -4, 127                       ; outer pass loop
+			EXIT
+		`)
+		if err != nil {
+			fatal(err)
+		}
+		printProgram(prog)
+
+	case *dis:
+		words := make([]uint32, 0, flag.NArg())
+		for _, arg := range flag.Args() {
+			w, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad word %q: %w", arg, err))
+			}
+			words = append(words, uint32(w))
+		}
+		prog, err := isa.DecodeProgram(words)
+		if err != nil {
+			fatal(err)
+		}
+		printProgram(prog)
+
+	default:
+		src, err := readAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := isa.Assemble(src)
+		if err != nil {
+			fatal(err)
+		}
+		printProgram(prog)
+	}
+}
+
+func printProgram(prog []isa.Instruction) {
+	for i, in := range prog {
+		w, err := isa.Encode(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("CRF[%2d]  %#08x  %s\n", i, w, in)
+	}
+}
+
+func readAll(f *os.File) (string, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimasm:", err)
+	os.Exit(1)
+}

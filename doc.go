@@ -1,0 +1,11 @@
+// Package pimsim is a Go reproduction of "Hardware Architecture and
+// Software Stack for PIM Based on Commercial DRAM Technology" (ISCA 2021,
+// Samsung HBM-PIM): a functional and cycle-level simulator of the PIM-HBM
+// device, the JEDEC memory controller that drives it, the full PIM
+// software stack (device driver, runtime, BLAS, ML framework), the host
+// processor baseline, and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Start with README.md, DESIGN.md and the examples/ directory; run
+// `go run ./cmd/pimbench -exp all` to regenerate the evaluation.
+package pimsim

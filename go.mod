@@ -1,0 +1,3 @@
+module pimsim
+
+go 1.22

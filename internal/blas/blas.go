@@ -1,0 +1,83 @@
+// Package blas implements the PIM BLAS library of Section V-A: GEMV, ADD,
+// MUL, ReLU, BN and LSTM primitives that lay operands out across banks,
+// generate the DRAM command streams that drive the PIM microkernels, and
+// read results back — plus bit-exact host reference implementations used
+// for verification and as the CPU fallback.
+package blas
+
+import (
+	"fmt"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+	"pimsim/internal/runtime"
+)
+
+// KernelStats reports what one PIM kernel cost.
+type KernelStats struct {
+	Cycles   int64 // slowest channel's kernel-region cycles
+	Triggers int64 // PIM-triggering column commands issued (all channels)
+	Fences   int64 // ordering fences executed (all channels)
+}
+
+// Ns converts the cycle count to nanoseconds under the runtime's timing.
+func (k KernelStats) Ns(rt *runtime.Runtime) float64 {
+	return rt.Cfg.Timing.CyclesToNs(k.Cycles)
+}
+
+// region measures per-channel cycle deltas around a kernel.
+type region struct {
+	rt     *runtime.Runtime
+	start  []int64
+	fences []int64
+}
+
+func beginRegion(rt *runtime.Runtime) *region {
+	r := &region{rt: rt, start: make([]int64, rt.NumChannels()), fences: make([]int64, rt.NumChannels())}
+	for i, c := range rt.Chans {
+		r.start[i] = c.Now()
+		r.fences[i] = c.Fences()
+	}
+	return r
+}
+
+func (r *region) end() KernelStats {
+	var ks KernelStats
+	for i, c := range r.rt.Chans {
+		if d := c.Now() - r.start[i]; d > ks.Cycles {
+			ks.Cycles = d
+		}
+		ks.Fences += c.Fences() - r.fences[i]
+	}
+	return ks
+}
+
+// grfDepth returns the number of GRF registers per half for the runtime's
+// device variant. It equals the AAM reorder window (fence granularity).
+func grfDepth(rt *runtime.Runtime) int {
+	if rt.Cfg.Variant == hbm.Variant2X {
+		return 2 * isa.GRFEntries
+	}
+	return isa.GRFEntries
+}
+
+// splat replicates a scalar across the 16 lanes and serializes it.
+func splat(v fp16.F16) []byte {
+	vec := fp16.NewVector(fp16.Lanes)
+	for i := range vec {
+		vec[i] = v
+	}
+	return vec.Bytes()
+}
+
+// ceilDiv is integer ceiling division.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// checkLen validates a functional operand length.
+func checkLen(name string, v fp16.Vector, want int) error {
+	if v != nil && len(v) != want {
+		return fmt.Errorf("blas: %s has %d elements, want %d", name, len(v), want)
+	}
+	return nil
+}

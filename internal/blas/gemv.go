@@ -1,0 +1,376 @@
+package blas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+	"pimsim/internal/runtime"
+)
+
+// GEMV on PIM-HBM (the paper's flagship kernel, Section V-A / Fig. 7).
+//
+// y = W*x with W row-major (M outputs x K inputs), all FP16.
+//
+// Data layout: outputs are tiled into blocks of 16 (one SIMD lane each).
+// Block b is owned by channel b%C, unit (b/C)%U, macro-pass (b/C)/U. The
+// owning unit's even bank holds the block's weights: during pass p the
+// kernel consumes inputs k = p*G .. p*G+G-1 (G = GRF depth, 8), and
+// column (p%passesPerRow)*G + i of the pass's row holds the 16 lane
+// weights W[block*16+lane][p*G+i].
+//
+// Microkernel (programmed once per invocation of <= 128 passes):
+//
+//	MOV(AAM)  GRF_A, EVEN_BANK        ; G WR triggers push x splats
+//	JUMP -1, G-1
+//	MAC(AAM)  GRF_B, GRF_A, EVEN_BANK ; G RD triggers accumulate
+//	JUMP -1, G-1
+//	JUMP -4, passes-1
+//	EXIT
+//
+// GRF_B[i][lane] accumulates the partial sum over inputs k = i (mod G);
+// the host folds the G partial registers after reading them back through
+// the SB register space (the result unload).
+type gemvPlan struct {
+	M, K   int // logical dims
+	Mp, Kp int // padded dims
+	C      int // channels
+	U      int // units per channel
+	G      int // GRF depth = pass size = AAM window
+	lanes  int
+
+	blocks       int
+	macros       int
+	passes       int // per macro
+	passesPerRow int
+	rowsPerMacro int
+	baseRow      uint32
+}
+
+func planGemv(rt *runtime.Runtime, M, K int) (*gemvPlan, error) {
+	if M <= 0 || K <= 0 {
+		return nil, fmt.Errorf("blas: gemv dims %dx%d", M, K)
+	}
+	p := &gemvPlan{
+		M: M, K: K,
+		C:     rt.NumChannels(),
+		U:     rt.Cfg.PIMUnits,
+		G:     grfDepth(rt),
+		lanes: fp16.Lanes,
+	}
+	p.Kp = ceilDiv(K, p.G) * p.G
+	p.Mp = ceilDiv(M, p.lanes) * p.lanes
+	p.blocks = p.Mp / p.lanes
+	p.macros = ceilDiv(p.blocks, p.C*p.U)
+	p.passes = p.Kp / p.G
+	p.passesPerRow = rt.Cfg.ColumnsPerRow() / p.G
+	p.rowsPerMacro = ceilDiv(p.passes, p.passesPerRow)
+	base, err := rt.Drv.AllocPIMRows(p.macros * p.rowsPerMacro)
+	if err != nil {
+		return nil, err
+	}
+	p.baseRow = base
+	return p, nil
+}
+
+// block returns the output block owned by (macro, unit, channel), or -1.
+func (p *gemvPlan) block(macro, unit, ch int) int {
+	b := (macro*p.U+unit)*p.C + ch
+	if b >= p.blocks {
+		return -1
+	}
+	return b
+}
+
+// passRowCol locates pass p, lane-input i within a macro.
+func (p *gemvPlan) passRowCol(macro, pass, i int) (uint32, uint32) {
+	row := p.baseRow + uint32(macro*p.rowsPerMacro+pass/p.passesPerRow)
+	col := uint32((pass%p.passesPerRow)*p.G + i)
+	return row, col
+}
+
+// layoutWeights writes W into the banks (functional mode setup; the PIM
+// BLAS does this once when the host loads the model, Section VIII).
+func (p *gemvPlan) layoutWeights(rt *runtime.Runtime, W fp16.Vector) error {
+	banksPerUnit := rt.Cfg.Banks() / rt.Cfg.PIMUnits
+	cols := make([]uint32, 0, rt.Cfg.ColumnsPerRow())
+	data := make([][]byte, 0, rt.Cfg.ColumnsPerRow())
+	for ch := 0; ch < p.C; ch++ {
+		for u := 0; u < p.U; u++ {
+			evenBank := u * banksPerUnit
+			for m := 0; m < p.macros; m++ {
+				b := p.block(m, u, ch)
+				if b < 0 {
+					continue
+				}
+				var curRow uint32
+				cols, data = cols[:0], data[:0]
+				flush := func() error {
+					if len(cols) == 0 {
+						return nil
+					}
+					err := rt.WriteBankRowSB(ch, evenBank, curRow, cols, data)
+					cols, data = cols[:0], data[:0]
+					return err
+				}
+				for pass := 0; pass < p.passes; pass++ {
+					row, _ := p.passRowCol(m, pass, 0)
+					if len(cols) > 0 && row != curRow {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
+					curRow = row
+					for i := 0; i < p.G; i++ {
+						_, col := p.passRowCol(m, pass, i)
+						k := pass*p.G + i
+						vec := fp16.NewVector(p.lanes)
+						if k < p.K {
+							for lane := 0; lane < p.lanes; lane++ {
+								o := b*p.lanes + lane
+								if o < p.M {
+									vec[lane] = W[o*p.K+k]
+								}
+							}
+						}
+						cols = append(cols, col)
+						data = append(data, vec.Bytes())
+					}
+				}
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// gemvProgram builds the microkernel for an invocation of n passes. The
+// SRW variant forwards the write datapath straight into the GRF while the
+// bank read proceeds (Fig. 14), merging the vector-load batch into the
+// MAC batch: one WR command per input instead of a WR plus an RD.
+func gemvProgram(g, n int, srw bool) []isa.Instruction {
+	if srw {
+		return []isa.Instruction{
+			{Op: isa.MAC, Dst: isa.GRFB, Src0: isa.GRFA, Src1: isa.EvenBank, AAM: true},
+			isa.Jump(g-1, 1),
+			isa.Jump(n-1, 2),
+			isa.Exit(),
+		}
+	}
+	return []isa.Instruction{
+		{Op: isa.MOV, Dst: isa.GRFA, Src0: isa.EvenBank, AAM: true},
+		isa.Jump(g-1, 1),
+		{Op: isa.MAC, Dst: isa.GRFB, Src0: isa.GRFA, Src1: isa.EvenBank, AAM: true},
+		isa.Jump(g-1, 1),
+		isa.Jump(n-1, 4),
+		isa.Exit(),
+	}
+}
+
+// maxPassesPerInvocation is bounded by the 7-bit JUMP iteration field.
+const maxPassesPerInvocation = isa.MaxLoopIter + 1
+
+// PimGemv runs y = W*x on the PIM execution units. In functional mode
+// (device Config.Functional) W and x must be provided and the numeric
+// result is returned; in timing-only mode pass nil operands and only
+// KernelStats is meaningful.
+func PimGemv(rt *runtime.Runtime, W fp16.Vector, M, K int, x fp16.Vector) (fp16.Vector, KernelStats, error) {
+	functional := rt.Cfg.Functional
+	if functional {
+		if err := checkLen("W", W, M*K); err != nil {
+			return nil, KernelStats{}, err
+		}
+		if err := checkLen("x", x, K); err != nil {
+			return nil, KernelStats{}, err
+		}
+		if W == nil || x == nil {
+			return nil, KernelStats{}, fmt.Errorf("blas: functional device requires W and x")
+		}
+	}
+	plan, err := planGemv(rt, M, K)
+	if err != nil {
+		return nil, KernelStats{}, err
+	}
+	defer rt.Drv.FreeAllPIMRows()
+
+	if functional {
+		if err := plan.layoutWeights(rt, W); err != nil {
+			return nil, KernelStats{}, err
+		}
+	}
+
+	// Pre-build the splat payloads once.
+	var xdata [][]byte
+	if functional {
+		xdata = make([][]byte, plan.Kp)
+		for k := range xdata {
+			if k < K {
+				xdata[k] = splat(x[k])
+			} else {
+				xdata[k] = splat(fp16.Zero)
+			}
+		}
+	}
+
+	var y fp16.Vector
+	if functional {
+		y = fp16.NewVector(M)
+	}
+
+	reg := beginRegion(rt)
+	var triggers int64
+	chErr := rt.ForEachChannel(func(ch int) error {
+		var chTriggers int64
+		defer func() { atomic.AddInt64(&triggers, chTriggers) }()
+		if err := rt.EnterAB(ch); err != nil {
+			return err
+		}
+		for m := 0; m < plan.macros; m++ {
+			if err := rt.ZeroGRF(ch); err != nil {
+				return err
+			}
+			pass := 0
+			lastProg := -1
+			for pass < plan.passes {
+				chunk := plan.passes - pass
+				if chunk > maxPassesPerInvocation {
+					chunk = maxPassesPerInvocation
+				}
+				srw := rt.Cfg.Variant == hbm.VariantSRW
+				if chunk != lastProg {
+					if err := rt.ProgramCRF(ch, gemvProgram(plan.G, chunk, srw)); err != nil {
+						return err
+					}
+					lastProg = chunk
+				}
+				if err := rt.SetPIMMode(ch, true); err != nil {
+					return err
+				}
+				openRow := uint32(0)
+				rowOpen := false
+				for e := 0; e < chunk; e++ {
+					p := pass + e
+					row, _ := plan.passRowCol(m, p, 0)
+					if !rowOpen || row != openRow {
+						if rowOpen {
+							if err := rt.CloseRows(ch); err != nil {
+								return err
+							}
+						}
+						if err := rt.OpenRow(ch, row); err != nil {
+							return err
+						}
+						openRow, rowOpen = row, true
+					}
+					for i := 0; i < plan.G; i++ {
+						_, col := plan.passRowCol(m, p, i)
+						var data []byte
+						if functional {
+							data = xdata[p*plan.G+i]
+						}
+						if err := rt.TriggerWR(ch, 0, col, data); err != nil {
+							return err
+						}
+						chTriggers++
+					}
+					rt.Fence(ch)
+					if !srw {
+						for i := 0; i < plan.G; i++ {
+							_, col := plan.passRowCol(m, p, i)
+							if err := rt.TriggerRD(ch, 0, col); err != nil {
+								return err
+							}
+							chTriggers++
+						}
+						rt.Fence(ch)
+					}
+				}
+				if err := rt.CloseRows(ch); err != nil {
+					return err
+				}
+				if err := rt.SetPIMMode(ch, false); err != nil {
+					return err
+				}
+				pass += chunk
+			}
+
+			// Unload GRF_B through the SB register space and fold.
+			if err := rt.ExitToSB(ch); err != nil {
+				return err
+			}
+			regs, err := rt.ReadGRFRowSB(ch, 1, plan.G)
+			if err != nil {
+				return err
+			}
+			if functional {
+				for u := 0; u < plan.U; u++ {
+					b := plan.block(m, u, ch)
+					if b < 0 {
+						continue
+					}
+					for lane := 0; lane < plan.lanes; lane++ {
+						o := b*plan.lanes + lane
+						if o >= M {
+							continue
+						}
+						acc := fp16.Zero
+						for i := 0; i < plan.G; i++ {
+							acc = fp16.Add(acc, regs[u][i][lane])
+						}
+						y[o] = acc
+					}
+				}
+			}
+			if m+1 < plan.macros {
+				if err := rt.EnterAB(ch); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if chErr != nil {
+		return nil, KernelStats{}, chErr
+	}
+	ks := reg.end()
+	ks.Triggers = triggers
+	return y, ks, nil
+}
+
+// RefGemvPIMOrder computes y = W*x with exactly the PIM datapath's
+// rounding order: per output, G interleaved FP16 accumulators folded left
+// to right at the end. It is the oracle for PimGemv in functional tests.
+func RefGemvPIMOrder(W fp16.Vector, M, K int, x fp16.Vector, g int) fp16.Vector {
+	y := fp16.NewVector(M)
+	for o := 0; o < M; o++ {
+		accs := make([]fp16.F16, g)
+		for k := 0; k < K; k++ {
+			i := k % g
+			accs[i] = fp16.MAC(accs[i], x[k], W[o*K+k])
+		}
+		acc := fp16.Zero
+		for i := 0; i < g; i++ {
+			acc = fp16.Add(acc, accs[i])
+		}
+		y[o] = acc
+	}
+	return y
+}
+
+// HostGemvF32 is the host library's math: float32 accumulation, FP16
+// result — used by the model layers and accuracy comparisons.
+func HostGemvF32(W fp16.Vector, M, K int, x fp16.Vector) fp16.Vector {
+	y := fp16.NewVector(M)
+	for o := 0; o < M; o++ {
+		var acc float32
+		for k := 0; k < K; k++ {
+			acc += W[o*K+k].Float32() * x[k].Float32()
+		}
+		y[o] = fp16.FromFloat32(acc)
+	}
+	return y
+}

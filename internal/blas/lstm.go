@@ -1,0 +1,101 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/runtime"
+)
+
+// LSTM support. The paper accelerates the LSTM layers of DS2, RNN-T and
+// GNMT by offloading their matrix-vector products (the memory-bound part)
+// to PIM; the cheap elementwise gate activations stay on the host
+// (Section VII-A). Gate order is [input, forget, cell, output].
+
+// LSTMWeights holds one cell's parameters.
+type LSTMWeights struct {
+	Wx fp16.Vector // 4H x X, row-major
+	Wh fp16.Vector // 4H x H, row-major
+	B  fp16.Vector // 4H
+	X  int         // input width
+	H  int         // hidden width
+}
+
+// Validate checks dimension consistency (functional data may be nil for
+// timing-only runs, but dims must be set).
+func (w LSTMWeights) Validate() error {
+	if w.X <= 0 || w.H <= 0 {
+		return fmt.Errorf("blas: LSTM dims X=%d H=%d", w.X, w.H)
+	}
+	if err := checkLen("Wx", w.Wx, 4*w.H*w.X); err != nil {
+		return err
+	}
+	if err := checkLen("Wh", w.Wh, 4*w.H*w.H); err != nil {
+		return err
+	}
+	return checkLen("B", w.B, 4*w.H)
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// gateMath applies bias, activations and the state update in float32 on
+// the host, from the two GEMV partial results.
+func gateMath(zx, zh fp16.Vector, w LSTMWeights, c fp16.Vector) (hOut, cOut fp16.Vector) {
+	H := w.H
+	hOut = fp16.NewVector(H)
+	cOut = fp16.NewVector(H)
+	for j := 0; j < H; j++ {
+		pre := func(g int) float64 {
+			v := zx[g*H+j].Float64() + zh[g*H+j].Float64()
+			if w.B != nil {
+				v += w.B[g*H+j].Float64()
+			}
+			return v
+		}
+		i := sigmoid(pre(0))
+		f := sigmoid(pre(1))
+		g := math.Tanh(pre(2))
+		o := sigmoid(pre(3))
+		cNew := f*c[j].Float64() + i*g
+		cOut[j] = fp16.FromFloat64(cNew)
+		hOut[j] = fp16.FromFloat64(o * math.Tanh(cNew))
+	}
+	return hOut, cOut
+}
+
+// PimLSTMCell advances one LSTM step with both GEMVs on PIM.
+func PimLSTMCell(rt *runtime.Runtime, w LSTMWeights, x, h, c fp16.Vector) (hOut, cOut fp16.Vector, ks KernelStats, err error) {
+	if err := w.Validate(); err != nil {
+		return nil, nil, KernelStats{}, err
+	}
+	zx, k1, err := PimGemv(rt, w.Wx, 4*w.H, w.X, x)
+	if err != nil {
+		return nil, nil, KernelStats{}, err
+	}
+	zh, k2, err := PimGemv(rt, w.Wh, 4*w.H, w.H, h)
+	if err != nil {
+		return nil, nil, KernelStats{}, err
+	}
+	ks = KernelStats{
+		Cycles:   k1.Cycles + k2.Cycles,
+		Triggers: k1.Triggers + k2.Triggers,
+		Fences:   k1.Fences + k2.Fences,
+	}
+	if !rt.Cfg.Functional {
+		return nil, nil, ks, nil
+	}
+	hOut, cOut = gateMath(zx, zh, w, c)
+	return hOut, cOut, ks, nil
+}
+
+// HostLSTMCell is the host baseline math (float32 GEMVs).
+func HostLSTMCell(w LSTMWeights, x, h, c fp16.Vector) (hOut, cOut fp16.Vector, err error) {
+	if err := w.Validate(); err != nil {
+		return nil, nil, err
+	}
+	zx := HostGemvF32(w.Wx, 4*w.H, w.X, x)
+	zh := HostGemvF32(w.Wh, 4*w.H, w.H, h)
+	hOut, cOut = gateMath(zx, zh, w, c)
+	return hOut, cOut, nil
+}

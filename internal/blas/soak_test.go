@@ -1,0 +1,152 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/runtime"
+)
+
+// TestSoakInterleavedKernels runs a long mixed sequence of kernels on one
+// live system — varying shapes, all five kernel types, an LSTM cell, and
+// tenant partitions — crossing several refresh intervals, and verifies
+// every single result. This is the "nothing leaks between kernels" test:
+// PIM rows are reallocated each call, GRF state is rezeroed, modes return
+// to SB, and refresh never corrupts an in-flight burst.
+func TestSoakInterleavedKernels(t *testing.T) {
+	cfg := hbm.PIMHBMConfig(1000)
+	cfg.PseudoChannels = 4
+	cfg.Functional = true
+	cfg.Timing.REFI = 1200 // several refreshes per kernel
+	dev, err := hbm.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := rt.PartitionEven(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2026))
+	targets := []*runtime.Runtime{rt, parts[0], parts[1]}
+
+	for step := 0; step < 40; step++ {
+		target := targets[rng.Intn(len(targets))]
+		switch rng.Intn(6) {
+		case 0: // GEMV, random shape
+			m := 16 * (1 + rng.Intn(12))
+			k := 8 * (1 + rng.Intn(40))
+			W := randVec(rng, m*k)
+			x := randVec(rng, k)
+			got, _, err := PimGemv(target, W, m, k, x)
+			if err != nil {
+				t.Fatalf("step %d gemv %dx%d: %v", step, m, k, err)
+			}
+			want := RefGemvPIMOrder(W, m, k, x, 8)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d gemv %dx%d: y[%d] = %v, want %v", step, m, k, i, got[i], want[i])
+				}
+			}
+		case 1: // ADD
+			n := 200 + rng.Intn(4000)
+			a, b := randVec(rng, n), randVec(rng, n)
+			got, _, err := PimAdd(target, a, b, n)
+			if err != nil {
+				t.Fatalf("step %d add: %v", step, err)
+			}
+			want := RefAdd(a, b)
+			for i := range want {
+				if got[i] != want[i] && !(got[i].IsNaN() && want[i].IsNaN()) {
+					t.Fatalf("step %d add: c[%d]", step, i)
+				}
+			}
+		case 2: // MUL
+			n := 200 + rng.Intn(2000)
+			a, b := randVec(rng, n), randVec(rng, n)
+			got, _, err := PimMul(target, a, b, n)
+			if err != nil {
+				t.Fatalf("step %d mul: %v", step, err)
+			}
+			want := RefMul(a, b)
+			for i := range want {
+				if got[i] != want[i] && !(got[i].IsNaN() && want[i].IsNaN()) {
+					t.Fatalf("step %d mul: c[%d]", step, i)
+				}
+			}
+		case 3: // ReLU
+			n := 200 + rng.Intn(3000)
+			x := randVec(rng, n)
+			got, _, err := PimReLU(target, x, n)
+			if err != nil {
+				t.Fatalf("step %d relu: %v", step, err)
+			}
+			want := RefReLU(x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d relu: y[%d]", step, i)
+				}
+			}
+		case 4: // BN
+			n := 200 + rng.Intn(3000)
+			x := randVec(rng, n)
+			gm := fp16.FromFloat32(rng.Float32() + 0.5)
+			bt := fp16.FromFloat32(rng.Float32() - 0.5)
+			got, _, err := PimBN(target, x, n, gm, bt)
+			if err != nil {
+				t.Fatalf("step %d bn: %v", step, err)
+			}
+			want := RefBN(x, gm, bt)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d bn: y[%d]", step, i)
+				}
+			}
+		case 5: // LSTM cell
+			H := 16 * (1 + rng.Intn(2))
+			X := 8 * (2 + rng.Intn(4))
+			w := LSTMWeights{Wx: randVec(rng, 4*H*X), Wh: randVec(rng, 4*H*H),
+				B: randVec(rng, 4*H), X: X, H: H}
+			x, h, c := randVec(rng, X), randVec(rng, H), randVec(rng, H)
+			ph, pc, _, err := PimLSTMCell(target, w, x, h, c)
+			if err != nil {
+				t.Fatalf("step %d lstm: %v", step, err)
+			}
+			hh, hc, err := HostLSTMCell(w, x, h, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := fp16.MaxAbsDiff(ph, hh); d > 0.06 {
+				t.Fatalf("step %d lstm: h drift %v", step, d)
+			}
+			if d := fp16.MaxAbsDiff(pc, hc); d > 0.12 {
+				t.Fatalf("step %d lstm: c drift %v", step, d)
+			}
+		}
+	}
+
+	// Post-conditions: clean state everywhere.
+	refreshes := int64(0)
+	for i, ch := range rt.Chans {
+		if m := ch.PCH().Mode(); m != hbm.ModeSB {
+			t.Errorf("channel %d left in %s", i, m)
+		}
+		refreshes += ch.Refreshes()
+	}
+	if refreshes == 0 {
+		t.Error("soak never crossed a refresh interval; shorten tREFI")
+	}
+	base, _ := rt.Drv.PIMRows()
+	r, err := rt.Drv.AllocPIMRows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != base {
+		t.Errorf("PIM rows leaked: next allocation at %d, want %d", r, base)
+	}
+}

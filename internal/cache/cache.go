@@ -1,0 +1,178 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// LRU cache simulator. The host model uses it as the last-level cache to
+// reproduce the LLC miss rates of Fig. 10: batch-1 GEMV streams a weight
+// matrix far larger than the LLC (~100% misses), while batching introduces
+// reuse that pulls the miss rate down to 70-80%.
+package cache
+
+import "fmt"
+
+// Cache is one level of a set-associative cache.
+type Cache struct {
+	lineSize int
+	assoc    int
+	numSets  int
+
+	sets []set
+
+	hits      int64
+	misses    int64
+	evictions int64
+	wbacks    int64 // dirty evictions
+	clock     uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+type set struct {
+	lines []line
+}
+
+// New builds a cache of the given total capacity in bytes. Capacity must
+// be divisible by lineSize*assoc.
+func New(capacity, lineSize, assoc int) (*Cache, error) {
+	switch {
+	case capacity <= 0 || lineSize <= 0 || assoc <= 0:
+		return nil, fmt.Errorf("cache: non-positive geometry")
+	case lineSize&(lineSize-1) != 0:
+		return nil, fmt.Errorf("cache: line size %d not a power of two", lineSize)
+	case capacity%(lineSize*assoc) != 0:
+		return nil, fmt.Errorf("cache: capacity %d not divisible by %d-byte ways", capacity, lineSize*assoc)
+	}
+	numSets := capacity / (lineSize * assoc)
+	c := &Cache{lineSize: lineSize, assoc: assoc, numSets: numSets, sets: make([]set, numSets)}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, assoc)
+	}
+	return c, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(capacity, lineSize, assoc int) *Cache {
+	c, err := New(capacity, lineSize, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Capacity returns the cache size in bytes.
+func (c *Cache) Capacity() int { return c.lineSize * c.assoc * c.numSets }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Access performs one read (write=false) or write (write=true) to addr and
+// reports whether it hit. Misses allocate (write-allocate) and evict LRU.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	blk := addr / uint64(c.lineSize)
+	si := int(blk % uint64(c.numSets))
+	tag := blk / uint64(c.numSets)
+	s := &c.sets[si]
+
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == tag {
+			c.hits++
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			return true
+		}
+	}
+	c.misses++
+
+	// Allocate: prefer an invalid way, else evict the LRU.
+	victim := 0
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			victim = i
+			break
+		}
+		if s.lines[i].used < s.lines[victim].used {
+			victim = i
+		}
+	}
+	v := &s.lines[victim]
+	if v.valid {
+		c.evictions++
+		if v.dirty {
+			c.wbacks++
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: write, used: c.clock}
+	return false
+}
+
+// AccessRange touches every line overlapped by [addr, addr+size) and
+// returns the number of misses.
+func (c *Cache) AccessRange(addr uint64, size int, write bool) int {
+	if size <= 0 {
+		return 0
+	}
+	first := addr / uint64(c.lineSize)
+	last := (addr + uint64(size) - 1) / uint64(c.lineSize)
+	misses := 0
+	for b := first; b <= last; b++ {
+		if !c.Access(b*uint64(c.lineSize), write) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Evictions returns the eviction count.
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// Writebacks returns the dirty-eviction count.
+func (c *Cache) Writebacks() int64 { return c.wbacks }
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// MissBytes returns the DRAM traffic generated so far: line fills plus
+// dirty writebacks.
+func (c *Cache) MissBytes() int64 {
+	return (c.misses + c.wbacks) * int64(c.lineSize)
+}
+
+// ResetStats zeroes the counters but keeps cache contents.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.evictions, c.wbacks = 0, 0, 0, 0
+}
+
+// Flush invalidates everything, returning the number of dirty lines that
+// would be written back (the cost of handing a region to PIM, Section
+// VIII "Cache Bypassing").
+func (c *Cache) Flush() int64 {
+	var dirty int64
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			l := &c.sets[i].lines[j]
+			if l.valid && l.dirty {
+				dirty++
+			}
+			*l = line{}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	cases := []struct{ cap, line, assoc int }{
+		{0, 64, 8}, {1 << 20, 63, 8}, {1 << 20, 0, 8}, {100, 64, 8},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cap, c.line, c.assoc); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted", c.cap, c.line, c.assoc)
+		}
+	}
+	if _, err := New(1<<20, 64, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(1<<16, 64, 8)
+	if c.Access(0x1000, false) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1038, false) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1040, false) {
+		t.Error("next line hit while cold")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	c := MustNew(1<<16, 64, 8) // 64 KiB
+	// Touch 32 KiB twice: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 32<<10; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate %v, want 0.5 (cold pass only)", got)
+	}
+}
+
+func TestStreamingThrashes(t *testing.T) {
+	c := MustNew(1<<16, 64, 8)
+	// Stream 4 MiB twice: no reuse survives, miss rate ~100%.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 4<<20; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if got := c.MissRate(); got < 0.99 {
+		t.Errorf("streaming miss rate %v, want ~1", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct construction: 2-way, 1 set (128 B).
+	c := MustNew(128, 64, 2)
+	c.Access(0, false)     // A
+	c.Access(1<<10, false) // B (same set)
+	c.Access(0, false)     // touch A: B is now LRU
+	c.Access(2<<10, false) // C evicts B
+	if !c.Access(0, false) {
+		t.Error("A was evicted despite being MRU")
+	}
+	if c.Access(1<<10, false) {
+		t.Error("B survived despite being LRU")
+	}
+	if c.Evictions() < 1 {
+		t.Error("no evictions counted")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := MustNew(128, 64, 2)
+	c.Access(0, true) // dirty A
+	c.Access(1<<10, false)
+	c.Access(2<<10, false) // evicts dirty A
+	c.Access(3<<10, false)
+	if c.Writebacks() != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks())
+	}
+	// MissBytes counts fills + writebacks.
+	if got := c.MissBytes(); got != (4+1)*64 {
+		t.Errorf("MissBytes = %d, want %d", got, 5*64)
+	}
+}
+
+func TestAccessRangeSpansLines(t *testing.T) {
+	c := MustNew(1<<16, 64, 8)
+	// 100 bytes starting 10 before a boundary touches 3 lines.
+	if got := c.AccessRange(64-10, 100+10+2, false); got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+	if got := c.AccessRange(0, 0, false); got != 0 {
+		t.Errorf("empty range missed %d", got)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(1<<12, 64, 4)
+	c.Access(0, true)
+	c.Access(64, false)
+	if got := c.Flush(); got != 1 {
+		t.Errorf("flush reported %d dirty lines, want 1", got)
+	}
+	if c.Access(0, false) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := MustNew(1<<12, 64, 4)
+	c.Access(0, false)
+	c.ResetStats()
+	if c.Misses() != 0 {
+		t.Error("stats not reset")
+	}
+	if !c.Access(0, false) {
+		t.Error("contents were lost")
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// hits+misses equals accesses; evictions never exceed misses.
+	f := func(addrs []uint32) bool {
+		c := MustNew(1<<12, 64, 2)
+		for _, a := range addrs {
+			c.Access(uint64(a), a%3 == 0)
+		}
+		total := c.Hits() + c.Misses()
+		return total == int64(len(addrs)) && c.Evictions() <= c.Misses() && c.Writebacks() <= c.Evictions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityMissCurve(t *testing.T) {
+	// Re-walking a working set: miss rate should step up as the set
+	// exceeds capacity.
+	rates := make([]float64, 0, 3)
+	for _, ws := range []uint64{16 << 10, 64 << 10, 1 << 20} {
+		c := MustNew(64<<10, 64, 8)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 50000; i++ {
+			c.Access(uint64(rng.Int63())%ws&^63, false)
+		}
+		rates = append(rates, c.MissRate())
+	}
+	if !(rates[0] < rates[1] && rates[1] < rates[2]) {
+		t.Errorf("miss rates not monotone in working set: %v", rates)
+	}
+	if rates[0] > 0.05 {
+		t.Errorf("fitting working set missed %v", rates[0])
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCache is a deliberately naive reference model: per set, an ordered
+// list of resident tags with explicit LRU moves. The production cache's
+// observable behavior (hit/miss per access, eviction and writeback
+// counts) must match it on arbitrary access sequences.
+type refCache struct {
+	lineSize, assoc, sets   int
+	resident                [][]refLine // index 0 = most recently used
+	hits, misses, evict, wb int64
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newRef(capacity, lineSize, assoc int) *refCache {
+	sets := capacity / (lineSize * assoc)
+	r := &refCache{lineSize: lineSize, assoc: assoc, sets: sets}
+	r.resident = make([][]refLine, sets)
+	return r
+}
+
+func (r *refCache) access(addr uint64, write bool) bool {
+	blk := addr / uint64(r.lineSize)
+	si := int(blk % uint64(r.sets))
+	tag := blk / uint64(r.sets)
+	set := r.resident[si]
+	for i, l := range set {
+		if l.tag == tag {
+			r.hits++
+			l.dirty = l.dirty || write
+			// Move to front.
+			set = append(set[:i], set[i+1:]...)
+			r.resident[si] = append([]refLine{l}, set...)
+			return true
+		}
+	}
+	r.misses++
+	if len(set) == r.assoc {
+		victim := set[len(set)-1]
+		r.evict++
+		if victim.dirty {
+			r.wb++
+		}
+		set = set[:len(set)-1]
+	}
+	r.resident[si] = append([]refLine{{tag: tag, dirty: write}}, set...)
+	return false
+}
+
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		capacity, line, assoc := 1<<12, 64, 4
+		c := MustNew(capacity, line, assoc)
+		r := newRef(capacity, line, assoc)
+		// A mix of hot and cold addresses to exercise reuse and eviction.
+		hot := make([]uint64, 32)
+		for i := range hot {
+			hot[i] = uint64(rng.Intn(1<<14)) &^ 63
+		}
+		for step := 0; step < 5000; step++ {
+			var addr uint64
+			if rng.Float64() < 0.6 {
+				addr = hot[rng.Intn(len(hot))]
+			} else {
+				addr = uint64(rng.Intn(1<<20)) &^ 63
+			}
+			write := rng.Float64() < 0.3
+			got := c.Access(addr, write)
+			want := r.access(addr, write)
+			if got != want {
+				t.Fatalf("trial %d step %d addr %#x: hit=%v, reference says %v", trial, step, addr, got, want)
+			}
+		}
+		if c.Hits() != r.hits || c.Misses() != r.misses {
+			t.Fatalf("counters diverged: %d/%d vs %d/%d", c.Hits(), c.Misses(), r.hits, r.misses)
+		}
+		if c.Evictions() != r.evict || c.Writebacks() != r.wb {
+			t.Fatalf("evictions/writebacks diverged: %d/%d vs %d/%d",
+				c.Evictions(), c.Writebacks(), r.evict, r.wb)
+		}
+	}
+}
+
+func TestCacheQuickAgainstReference(t *testing.T) {
+	f := func(addrs []uint32, writes []bool) bool {
+		c := MustNew(1<<10, 64, 2)
+		r := newRef(1<<10, 64, 2)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			if c.Access(uint64(a), w) != r.access(uint64(a), w) {
+				return false
+			}
+		}
+		return c.Evictions() == r.evict && c.Writebacks() == r.wb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package driver models the PIM device driver of Section V-A. At boot it
+// reserves the PIM configuration rows, carves the physical address space
+// into a cacheable host region and an uncacheable PIM region, and hands
+// out physically contiguous allocations so PIM kernels never need
+// virtual-to-physical translation mid-kernel.
+package driver
+
+import (
+	"fmt"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/memctrl"
+)
+
+// Region is one physically contiguous allocation.
+type Region struct {
+	Addr  uint64
+	Bytes uint64
+	// Uncacheable regions bypass the LLC: the host issues a DRAM command
+	// for every access (required for PIM operands, Section V-A).
+	Uncacheable bool
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Addr + r.Bytes }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool { return addr >= r.Addr && addr < r.End() }
+
+// Driver owns the physical address space of the memory system.
+type Driver struct {
+	cfg hbm.Config
+	m   memctrl.AddrMap
+
+	// Row space per bank: [0, pimRowBase) belongs to host data,
+	// [pimRowBase, confRowBase) to PIM operand layouts, and
+	// [confRowBase, Rows) is the PIM configuration space.
+	confRowBase uint32
+	pimRowBase  uint32
+	nextPIMRow  uint32 // bump allocator growing upward within the PIM region
+
+	hostNext  uint64 // bump allocator for host regions (address space)
+	hostLimit uint64
+
+	regions []Region
+}
+
+// PIMRowFraction is the share of each bank's rows the driver reserves for
+// PIM operand layouts at boot.
+const PIMRowFraction = 0.5
+
+// New boots the driver for a memory system of `channels` pseudo channels
+// with the device geometry cfg.
+func New(cfg hbm.Config, channels int) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := memctrl.NewAddrMap(channels, cfg.BankGroups, cfg.BanksPerGroup,
+		cfg.Rows, cfg.ColumnsPerRow(), cfg.AccessBytes)
+	d := &Driver{cfg: cfg, m: m}
+	if cfg.PIMUnits > 0 {
+		d.confRowBase = uint32(cfg.Rows - hbm.NumConfRows)
+		d.pimRowBase = uint32(float64(cfg.Rows) * (1 - PIMRowFraction))
+		if d.pimRowBase >= d.confRowBase {
+			d.pimRowBase = d.confRowBase / 2
+		}
+	} else {
+		d.confRowBase = uint32(cfg.Rows)
+		d.pimRowBase = uint32(cfg.Rows)
+	}
+	d.nextPIMRow = d.pimRowBase
+	// Host space covers every address whose row is below the PIM region.
+	d.hostLimit = m.Capacity() / uint64(cfg.Rows) * uint64(d.pimRowBase)
+	return d, nil
+}
+
+// Map returns the system address map.
+func (d *Driver) Map() memctrl.AddrMap { return d.m }
+
+// HostCapacity returns the bytes available to cacheable host allocations.
+func (d *Driver) HostCapacity() uint64 { return d.hostLimit }
+
+// PIMRows returns the row range reserved for PIM operand layouts.
+func (d *Driver) PIMRows() (base, limit uint32) { return d.pimRowBase, d.confRowBase }
+
+// AllocHost returns a physically contiguous cacheable region.
+func (d *Driver) AllocHost(bytes uint64) (Region, error) {
+	return d.alloc(bytes, false)
+}
+
+// AllocUncacheable returns a physically contiguous uncacheable region for
+// PIM-visible host buffers (inputs pushed over the write datapath,
+// results read back).
+func (d *Driver) AllocUncacheable(bytes uint64) (Region, error) {
+	return d.alloc(bytes, true)
+}
+
+func (d *Driver) alloc(bytes uint64, uncacheable bool) (Region, error) {
+	if bytes == 0 {
+		return Region{}, fmt.Errorf("driver: zero-byte allocation")
+	}
+	// 32-byte alignment: one DRAM access granule.
+	bytes = (bytes + uint64(d.cfg.AccessBytes) - 1) &^ uint64(d.cfg.AccessBytes-1)
+	if d.hostNext+bytes > d.hostLimit {
+		return Region{}, fmt.Errorf("driver: out of host memory (%d of %d used)", d.hostNext, d.hostLimit)
+	}
+	r := Region{Addr: d.hostNext, Bytes: bytes, Uncacheable: uncacheable}
+	d.hostNext += bytes
+	d.regions = append(d.regions, r)
+	return r, nil
+}
+
+// AllocPIMRows reserves n consecutive rows (the same row indices in every
+// bank of every channel) for a PIM operand layout and returns the base
+// row.
+func (d *Driver) AllocPIMRows(n int) (uint32, error) {
+	if d.cfg.PIMUnits == 0 {
+		return 0, fmt.Errorf("driver: PIM rows on a device without PIM units")
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("driver: non-positive row count")
+	}
+	if d.nextPIMRow+uint32(n) > d.confRowBase {
+		return 0, fmt.Errorf("driver: out of PIM rows (%d requested, %d free)",
+			n, d.confRowBase-d.nextPIMRow)
+	}
+	base := d.nextPIMRow
+	d.nextPIMRow += uint32(n)
+	return base, nil
+}
+
+// FreeAllPIMRows releases every PIM row reservation (kernel teardown).
+func (d *Driver) FreeAllPIMRows() { d.nextPIMRow = d.pimRowBase }
+
+// Uncacheable reports whether addr lives in an uncacheable region.
+func (d *Driver) Uncacheable(addr uint64) bool {
+	for _, r := range d.regions {
+		if r.Uncacheable && r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode translates a physical address through the system map.
+func (d *Driver) Decode(addr uint64) (memctrl.Loc, error) { return d.m.Decode(addr) }

@@ -1,0 +1,142 @@
+package driver
+
+import (
+	"testing"
+
+	"pimsim/internal/hbm"
+)
+
+func newDrv(t *testing.T) *Driver {
+	t.Helper()
+	d, err := New(hbm.PIMHBMConfig(1000), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBootPartitioning(t *testing.T) {
+	d := newDrv(t)
+	base, limit := d.PIMRows()
+	cfg := hbm.PIMHBMConfig(1000)
+	if limit != uint32(cfg.Rows-hbm.NumConfRows) {
+		t.Errorf("PIM row limit %d, want below the %d conf rows", limit, hbm.NumConfRows)
+	}
+	if base >= limit {
+		t.Error("empty PIM row region")
+	}
+	if d.HostCapacity() == 0 || d.HostCapacity() >= d.Map().Capacity() {
+		t.Errorf("host capacity %d of %d", d.HostCapacity(), d.Map().Capacity())
+	}
+	// Host space must not reach into PIM rows: the last host address's row
+	// is below the PIM base.
+	loc, err := d.Decode(d.HostCapacity() - 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Row >= base {
+		t.Errorf("host space reaches PIM row %d (base %d)", loc.Row, base)
+	}
+}
+
+func TestAllocContiguousAligned(t *testing.T) {
+	d := newDrv(t)
+	a, err := d.AllocHost(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes%32 != 0 || a.Bytes < 100 {
+		t.Errorf("allocation rounded to %d", a.Bytes)
+	}
+	b, err := d.AllocHost(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr != a.End() {
+		t.Errorf("allocations not contiguous: %d vs %d", b.Addr, a.End())
+	}
+	if _, err := d.AllocHost(0); err == nil {
+		t.Error("zero allocation accepted")
+	}
+}
+
+func TestUncacheable(t *testing.T) {
+	d := newDrv(t)
+	c, err := d.AllocHost(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := d.AllocUncacheable(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Uncacheable(c.Addr) {
+		t.Error("cacheable region flagged uncacheable")
+	}
+	if !d.Uncacheable(u.Addr) || !d.Uncacheable(u.End()-1) {
+		t.Error("uncacheable region not flagged")
+	}
+	if d.Uncacheable(u.End()) {
+		t.Error("flag leaks past region end")
+	}
+}
+
+func TestPIMRowAllocator(t *testing.T) {
+	d := newDrv(t)
+	base, limit := d.PIMRows()
+	r1, err := d.AllocPIMRows(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != base {
+		t.Errorf("first allocation at %d, want %d", r1, base)
+	}
+	r2, err := d.AllocPIMRows(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != base+4 {
+		t.Errorf("second allocation at %d", r2)
+	}
+	// Exhaustion.
+	if _, err := d.AllocPIMRows(int(limit-base) + 1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	d.FreeAllPIMRows()
+	r3, err := d.AllocPIMRows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != base {
+		t.Error("FreeAllPIMRows did not reset")
+	}
+	if _, err := d.AllocPIMRows(0); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestPlainHBMHasNoPIMRows(t *testing.T) {
+	d, err := New(hbm.HBM2Config(1000), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AllocPIMRows(1); err == nil {
+		t.Error("PIM rows allocated on a plain HBM2 system")
+	}
+	if d.HostCapacity() != d.Map().Capacity() {
+		t.Error("plain HBM2 should expose the full capacity to the host")
+	}
+}
+
+func TestHostExhaustion(t *testing.T) {
+	d := newDrv(t)
+	if _, err := d.AllocHost(d.HostCapacity() + 32); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+	if _, err := d.AllocHost(d.HostCapacity()); err != nil {
+		t.Errorf("exact-fit allocation rejected: %v", err)
+	}
+	if _, err := d.AllocHost(32); err == nil {
+		t.Error("allocation beyond capacity accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package dse
+
+import (
+	"testing"
+
+	"pimsim/internal/hbm"
+)
+
+func TestFig14Shapes(t *testing.T) {
+	rs, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d variants", len(rs))
+	}
+	by := map[hbm.Variant]Result{}
+	for _, r := range rs {
+		by[r.Variant] = r
+	}
+	base := by[hbm.VariantBase]
+	v2x := by[hbm.Variant2X]
+	v2ba := by[hbm.Variant2BA]
+	vsrw := by[hbm.VariantSRW]
+
+	// Every enhanced variant improves on the product geomean.
+	for _, r := range []Result{v2x, v2ba, vsrw} {
+		if r.GeomeanOverBase <= 1 {
+			t.Errorf("%s geomean gain %.2f, want > 1", r.Variant, r.GeomeanOverBase)
+		}
+	}
+
+	// Paper ordering: 2x (~+40%) > SRW/2BA; our model reproduces the
+	// ordering with 2x on top.
+	if v2x.GeomeanOverBase <= v2ba.GeomeanOverBase {
+		t.Errorf("2x (%.2f) should beat 2BA (%.2f)", v2x.GeomeanOverBase, v2ba.GeomeanOverBase)
+	}
+	if v2x.GeomeanOverBase < 1.25 || v2x.GeomeanOverBase > 2.0 {
+		t.Errorf("2x gain %.2f, expected roughly +40%% or more", v2x.GeomeanOverBase)
+	}
+
+	// 2BA is useful especially for ADD (GRF-pressure relief), not GEMV.
+	addGain := v2ba.Speedups["ADD2"] / base.Speedups["ADD2"]
+	gemvGain := v2ba.Speedups["GEMV4"] / base.Speedups["GEMV4"]
+	if addGain < 1.2 {
+		t.Errorf("2BA ADD gain %.2f, want > 1.2", addGain)
+	}
+	if gemvGain > 1.05 {
+		t.Errorf("2BA GEMV gain %.2f, expected ~none", gemvGain)
+	}
+
+	// SRW helps GEMV specifically (merged vector load), not ADD.
+	srwGemv := vsrw.Speedups["GEMV4"] / base.Speedups["GEMV4"]
+	srwAdd := vsrw.Speedups["ADD2"] / base.Speedups["ADD2"]
+	if srwGemv < 1.2 {
+		t.Errorf("SRW GEMV gain %.2f, want > 1.2", srwGemv)
+	}
+	if srwAdd > 1.05 {
+		t.Errorf("SRW ADD gain %.2f, expected ~none", srwAdd)
+	}
+
+	// BN behaves like a streaming kernel on every variant.
+	for _, r := range rs {
+		for _, n := range []string{"BN1", "BN2", "BN3", "BN4"} {
+			if s := r.Speedups[n]; s < 1.2 || s > 4.5 {
+				t.Errorf("%s %s speedup %.2f out of plausible band", r.Variant, n, s)
+			}
+		}
+	}
+}
+
+func TestBenchmarkSet(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 12 {
+		t.Fatalf("got %d benchmarks, want 12 (8 microbenchmarks + 4 BN)", len(bs))
+	}
+}

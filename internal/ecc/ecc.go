@@ -1,0 +1,154 @@
+// Package ecc implements the single-error-correct, double-error-detect
+// (SEC-DED) on-die ECC that Section VIII sketches for the HBM3-generation
+// PIM-HBM: "DRAM began to have on-die ECC including HBM3... PIM may
+// leverage the on-die ECC engine to generate and check the ECC parity
+// bits even in PIM mode." The code is a (72,64) Hsiao-style construction:
+// 8 parity bits protect each 64-bit word, the granularity on-die ECC
+// engines use.
+//
+// Because each PIM execution unit reads and writes at the same 32-byte
+// granularity as the host (Section VIII), the same engine serves both
+// paths: a 32-byte column access checks four words.
+package ecc
+
+import "math/bits"
+
+// Status classifies a decode.
+type Status int
+
+const (
+	OK            Status = iota // parity clean
+	Corrected                   // single-bit error corrected
+	Uncorrectable               // double-bit (or worse) error detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	default:
+		return "uncorrectable"
+	}
+}
+
+// The check-bit masks: parity bit i covers the data bits set in mask[i].
+// This is the classic Hamming construction extended with an overall
+// parity bit: data bit j is covered by the parity bits matching the
+// binary expansion of its codeword position. Positions 1..72 excluding
+// powers of two hold data bits.
+var (
+	masks    [8]uint64 // masks[0..6]: Hamming check bits; masks[7] unused (overall parity)
+	position [64]uint8 // codeword position of each data bit (1-based)
+)
+
+func init() {
+	// Assign data bits to non-power-of-two codeword positions 3..72.
+	j := 0
+	for pos := uint8(1); j < 64; pos++ {
+		if pos&(pos-1) == 0 { // powers of two are parity positions
+			continue
+		}
+		position[j] = pos
+		for b := 0; b < 7; b++ {
+			if pos&(1<<b) != 0 {
+				masks[b] |= 1 << j
+			}
+		}
+		j++
+	}
+}
+
+// Encode computes the 8 parity bits for a 64-bit word: 7 Hamming check
+// bits plus an overall parity bit that upgrades SEC to SEC-DED.
+func Encode(word uint64) uint8 {
+	var p uint8
+	for b := 0; b < 7; b++ {
+		p |= uint8(bits.OnesCount64(word&masks[b])&1) << b
+	}
+	// Overall parity over data and the 7 check bits.
+	overall := uint8(bits.OnesCount64(word)&1) ^ uint8(bits.OnesCount8(p&0x7F)&1)
+	return p | overall<<7
+}
+
+// Decode checks word against its stored parity and corrects a single-bit
+// error in either the data or the parity. It returns the (possibly
+// corrected) word and the decode status.
+func Decode(word uint64, parity uint8) (uint64, Status) {
+	// Syndrome: recomputed check bits against the received check bits.
+	var calc uint8
+	for b := 0; b < 7; b++ {
+		calc |= uint8(bits.OnesCount64(word&masks[b])&1) << b
+	}
+	syndrome := (parity ^ calc) & 0x7F
+
+	// Overall parity spans the whole received codeword: data plus the
+	// received check bits. An odd total number of flipped bits shows up
+	// here regardless of where they landed.
+	overallRecv := parity >> 7
+	overallCalc := uint8(bits.OnesCount64(word)&1) ^ uint8(bits.OnesCount8(parity&0x7F)&1)
+	overallErr := overallRecv != overallCalc
+
+	switch {
+	case syndrome == 0 && !overallErr:
+		return word, OK
+	case syndrome == 0 && overallErr:
+		// The overall parity bit itself flipped.
+		return word, Corrected
+	case overallErr:
+		// Odd number of errors with a nonzero syndrome: a single error at
+		// the codeword position given by the syndrome.
+		for j, pos := range position {
+			if uint8(syndrome) == pos {
+				return word ^ (1 << j), Corrected
+			}
+		}
+		// The syndrome points at a parity position: the error was in a
+		// check bit, the data is intact.
+		return word, Corrected
+	default:
+		// Nonzero syndrome with even overall parity: two errors.
+		return word, Uncorrectable
+	}
+}
+
+// WordsPerBlock is how many 64-bit words one 32-byte DRAM access covers.
+const WordsPerBlock = 4
+
+// EncodeBlock computes the parity bytes for a 32-byte block (little
+// endian words). It panics if data is shorter than 32 bytes.
+func EncodeBlock(data []byte) [WordsPerBlock]uint8 {
+	var out [WordsPerBlock]uint8
+	for w := 0; w < WordsPerBlock; w++ {
+		out[w] = Encode(le64(data[8*w:]))
+	}
+	return out
+}
+
+// DecodeBlock checks and corrects a 32-byte block in place. It returns
+// the number of corrected words and whether any word was uncorrectable.
+func DecodeBlock(data []byte, parity [WordsPerBlock]uint8) (corrected int, uncorrectable bool) {
+	for w := 0; w < WordsPerBlock; w++ {
+		word, st := Decode(le64(data[8*w:]), parity[w])
+		switch st {
+		case Corrected:
+			corrected++
+			putLE64(data[8*w:], word)
+		case Uncorrectable:
+			uncorrectable = true
+		}
+	}
+	return corrected, uncorrectable
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

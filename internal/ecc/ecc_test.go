@@ -1,0 +1,146 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanDecode(t *testing.T) {
+	for _, w := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEF00D} {
+		got, st := Decode(w, Encode(w))
+		if st != OK || got != w {
+			t.Errorf("clean word %#x decoded as %s / %#x", w, st, got)
+		}
+	}
+}
+
+func TestSingleBitCorrectionExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 64; trial++ {
+		w := rng.Uint64()
+		p := Encode(w)
+		// Every data-bit flip must correct back.
+		for bit := 0; bit < 64; bit++ {
+			got, st := Decode(w^(1<<bit), p)
+			if st != Corrected || got != w {
+				t.Fatalf("word %#x bit %d: %s / %#x", w, bit, st, got)
+			}
+		}
+		// Every parity-bit flip must be tolerated (data already intact).
+		for bit := 0; bit < 8; bit++ {
+			got, st := Decode(w, p^(1<<bit))
+			if st != Corrected || got != w {
+				t.Fatalf("word %#x parity bit %d: %s / %#x", w, bit, st, got)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		w := rng.Uint64()
+		p := Encode(w)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		_, st := Decode(w^(1<<b1)^(1<<b2), p)
+		if st != Uncorrectable {
+			t.Fatalf("word %#x bits %d,%d: %s, want uncorrectable", w, b1, b2, st)
+		}
+	}
+}
+
+func TestDataPlusParityDoubleError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		w := rng.Uint64()
+		p := Encode(w)
+		db := rng.Intn(64)
+		pb := rng.Intn(8)
+		got, st := Decode(w^(1<<db), p^(1<<pb))
+		// Two flips split across data and parity must never silently
+		// return wrong data as OK/Corrected-to-wrong-value.
+		if st == OK {
+			t.Fatalf("double error decoded as clean")
+		}
+		if st == Corrected && got != w {
+			t.Fatalf("double error mis-corrected to %#x (want %#x)", got, w)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(w uint64) bool {
+		got, st := Decode(w, Encode(w))
+		return st == OK && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSingleFlip(t *testing.T) {
+	f := func(w uint64, bit uint8) bool {
+		b := int(bit) % 64
+		got, st := Decode(w^(1<<b), Encode(w))
+		return st == Corrected && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 32)
+	rng.Read(data)
+	p := EncodeBlock(data)
+
+	// Clean block.
+	clean := append([]byte(nil), data...)
+	if c, u := DecodeBlock(clean, p); c != 0 || u {
+		t.Fatalf("clean block: corrected=%d uncorrectable=%v", c, u)
+	}
+
+	// One flipped bit per word: four corrections.
+	damaged := append([]byte(nil), data...)
+	for w := 0; w < WordsPerBlock; w++ {
+		damaged[8*w+3] ^= 0x10
+	}
+	c, u := DecodeBlock(damaged, p)
+	if c != 4 || u {
+		t.Fatalf("corrected=%d uncorrectable=%v", c, u)
+	}
+	for i := range data {
+		if damaged[i] != data[i] {
+			t.Fatalf("byte %d not restored", i)
+		}
+	}
+
+	// Two flips in one word: uncorrectable flagged.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0x01
+	bad[1] ^= 0x01
+	if _, u := DecodeBlock(bad, p); !u {
+		t.Fatal("double error not detected")
+	}
+}
+
+func TestParityBitsDistinct(t *testing.T) {
+	// Sanity on the construction: all data positions are distinct and
+	// none is a power of two.
+	seen := map[uint8]bool{}
+	for _, pos := range position {
+		if pos == 0 || pos&(pos-1) == 0 {
+			t.Fatalf("data bit at parity position %d", pos)
+		}
+		if seen[pos] {
+			t.Fatalf("duplicate position %d", pos)
+		}
+		seen[pos] = true
+	}
+}

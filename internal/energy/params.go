@@ -1,0 +1,56 @@
+package energy
+
+// Params holds the per-event energy constants in picojoules (plus the
+// background power). They are calibrated against three anchors the paper
+// publishes for the fabricated 20nm part:
+//
+//  1. Fig. 11: over back-to-back RD streams, PIM-HBM draws ~5.4% more
+//     power than HBM while its banks run at 4x the delivered bandwidth;
+//  2. Fig. 11's note: eliminating the buffer-die 1024-bit I/O toggle in
+//     PIM mode would have made PIM-HBM ~10% *lower* power than HBM, which
+//     pins the buffer I/O component at ~10% of HBM streaming power;
+//  3. the headline ~3.5x lower energy per bit for PIM-side transfers.
+//
+// Derivation at 1 GHz (tCCD_S = 2 ns, tCCD_L = 4 ns), per pseudo channel:
+//
+//	HBM RD stream power  = bg + (cell+iosa + bus + buf + phy)/2ns
+//	PIM RD stream power  = bg + (8*(cell+iosa) + 8*fpu + buf)/4ns
+//
+// With cell+iosa = 120, bus = 170, buf = 122, phy = 200, fpu = 28 and
+// bg = 60 mW: HBM = 60 + 612/2 = 366 mW; PIM = 60 + 1306/4 = 386.5 mW
+// (+5.6%); buf/4ns = 30.5 mW ~ 10% of 306 mW dynamic; and dynamic energy
+// per delivered bit is 612/256 = 2.39 pJ (HBM) vs 1306/2048 = 0.64 pJ
+// (PIM), a 3.75x reduction.
+type Params struct {
+	CellColPJ   float64 // cell-array column activity per 32B bank access
+	IOSAColPJ   float64 // IOSA + decoders per 32B bank access
+	ActivatePJ  float64 // per-bank row activation
+	PrechargePJ float64 // per-bank precharge
+	GlobalBusPJ float64 // internal global data bus per off-chip 32B block
+	BufferIOPJ  float64 // buffer-die 1024-bit I/O toggle per column command
+	IOPHYPJ     float64 // external PHY per off-chip 32B block
+	FPUOpPJ     float64 // one 16-lane FP16 arithmetic instruction
+	PIMMovePJ   float64 // one 16-lane register move instruction
+	ECCCheckPJ  float64 // SEC-DED encode/decode of one 32B block (when enabled)
+	RefreshPJ   float64 // one all-bank refresh of a pseudo channel
+
+	BackgroundMWPerPCH float64 // standby + clocking per pseudo channel
+}
+
+// DefaultParams returns the calibrated constants described above.
+func DefaultParams() Params {
+	return Params{
+		CellColPJ:          45,
+		IOSAColPJ:          75,
+		ActivatePJ:         900,
+		PrechargePJ:        250,
+		GlobalBusPJ:        170,
+		BufferIOPJ:         122,
+		IOPHYPJ:            200,
+		FPUOpPJ:            28,
+		PIMMovePJ:          10,
+		ECCCheckPJ:         8,
+		RefreshPJ:          24000,
+		BackgroundMWPerPCH: 60,
+	}
+}

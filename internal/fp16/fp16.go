@@ -1,0 +1,250 @@
+// Package fp16 implements IEEE 754 binary16 ("half precision") arithmetic
+// in software. It is the number format of the PIM execution unit's SIMD
+// datapath: the paper's PIM-HBM implements FP16 multiply and add units
+// (Section III-C chooses FP16 over BFLOAT16 for compatibility with legacy
+// FP16 libraries).
+//
+// Arithmetic is performed by converting to float32, operating, and rounding
+// back once. Because binary32 carries p' = 24 significand bits and binary16
+// needs p = 11, p' >= 2p+2 holds, so the double rounding is innocuous
+// (Figueroa's theorem): every Add, Sub, Mul and Div below is correctly
+// rounded to nearest-even in binary16. Mul is additionally exact in the
+// intermediate (22-bit product in a 24-bit significand).
+package fp16
+
+import "math"
+
+// F16 is an IEEE 754 binary16 value: 1 sign bit, 5 exponent bits,
+// 10 fraction bits.
+type F16 uint16
+
+// Special values.
+const (
+	PosInf  F16 = 0x7C00
+	NegInf  F16 = 0xFC00
+	NaN     F16 = 0x7E00 // a quiet NaN
+	Zero    F16 = 0x0000
+	NegZero F16 = 0x8000
+	One     F16 = 0x3C00
+	MaxVal  F16 = 0x7BFF // 65504
+	MinPos  F16 = 0x0001 // smallest positive subnormal, 2^-24
+)
+
+const (
+	signMask = 0x8000
+	expMask  = 0x7C00
+	fracMask = 0x03FF
+	expShift = 10
+	expBias  = 15
+)
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even.
+// Overflow produces an infinity; underflow produces a (possibly zero)
+// subnormal. NaN payloads are quieted.
+func FromFloat32(f float32) F16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			return F16(sign | expMask | 0x0200 | uint16(frac>>13)&fracMask&^0x0200 | 0x0200)
+		}
+		return F16(sign | expMask)
+	case exp == 0 && frac == 0: // signed zero
+		return F16(sign)
+	}
+
+	// Unbiased exponent of the float32 value. Subnormal float32 inputs are
+	// far below the binary16 subnormal range (< 2^-126), so they flush to
+	// zero through the generic underflow path below.
+	e := exp - 127
+
+	switch {
+	case e > 15: // overflow to infinity
+		return F16(sign | expMask)
+	case e >= -14: // normal binary16 range
+		// 24-bit significand (implicit leading 1) must be rounded to 11 bits:
+		// shift out 13 bits with round-to-nearest-even.
+		sig := frac | 0x800000 // 24-bit significand with hidden bit
+		rounded := roundShift(uint64(sig), 13)
+		// Rounding may carry out (e.g. 0x7FFFFF -> 0x800), bumping the
+		// exponent; rounded occupies 11 or 12 bits.
+		he := uint16(e+expBias) << expShift
+		out := uint32(he) + uint32(rounded) - (1 << expShift) // fold hidden bit into exponent field
+		if out >= uint32(expMask) {
+			return F16(sign | expMask) // rounded up to infinity
+		}
+		return F16(sign | uint16(out))
+	case e >= -25: // subnormal binary16 range (including rounding up to MinPos)
+		// Denormalize: significand is shifted right by (-14 - e) extra bits.
+		sig := uint64(frac | 0x800000)
+		shift := uint32(13 + (-14 - e))
+		rounded := roundShift(sig, shift)
+		// rounded fits in 11 bits; a carry into bit 10 yields the smallest
+		// normal number, which the plain bit pattern already encodes.
+		return F16(sign | uint16(rounded))
+	default: // underflow to signed zero
+		return F16(sign)
+	}
+}
+
+// roundShift shifts v right by s bits, rounding to nearest with ties to
+// even. s must be in [1, 63].
+func roundShift(v uint64, s uint32) uint64 {
+	half := uint64(1) << (s - 1)
+	mask := (uint64(1) << s) - 1
+	q := v >> s
+	r := v & mask
+	if r > half || (r == half && q&1 == 1) {
+		q++
+	}
+	return q
+}
+
+// Float32 converts a binary16 value to float32 exactly (binary16 is a
+// subset of binary32).
+func (h F16) Float32() float32 {
+	sign := uint32(h&signMask) << 16
+	exp := uint32(h&expMask) >> expShift
+	frac := uint32(h & fracMask)
+
+	switch exp {
+	case 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: value = frac * 2^-24. Normalize into binary32: with the
+		// leading 1 shifted up to bit 10, the value is 2^(-14-k) * 1.xxx
+		// where k is the shift count, so the biased exponent is 113-k.
+		e := uint32(113)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	case 0x1F:
+		if frac == 0 {
+			return math.Float32frombits(sign | 0xFF<<23)
+		}
+		return math.Float32frombits(sign | 0xFF<<23 | frac<<13 | 1<<22) // quiet NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+	}
+}
+
+// Float64 converts to float64 exactly.
+func (h F16) Float64() float64 { return float64(h.Float32()) }
+
+// FromFloat64 converts a float64 to binary16. The conversion goes through
+// float32 first; since binary32 keeps >= 2p+2 bits of binary16 precision,
+// the result is still correctly rounded for all values representable in
+// float32 without intermediate overflow, which covers the binary16 range.
+func FromFloat64(f float64) F16 { return FromFloat32(float32(f)) }
+
+// IsNaN reports whether h is a NaN.
+func (h F16) IsNaN() bool { return h&expMask == expMask && h&fracMask != 0 }
+
+// IsInf reports whether h is an infinity. sign > 0 tests +Inf, sign < 0
+// tests -Inf, sign == 0 tests either.
+func (h F16) IsInf(sign int) bool {
+	if h&expMask != expMask || h&fracMask != 0 {
+		return false
+	}
+	switch {
+	case sign > 0:
+		return h&signMask == 0
+	case sign < 0:
+		return h&signMask != 0
+	default:
+		return true
+	}
+}
+
+// IsZero reports whether h is +0 or -0.
+func (h F16) IsZero() bool { return h&^signMask == 0 }
+
+// IsSubnormal reports whether h is a nonzero subnormal.
+func (h F16) IsSubnormal() bool { return h&expMask == 0 && h&fracMask != 0 }
+
+// Sign reports the sign bit: true when negative (including -0 and -NaN).
+func (h F16) Signbit() bool { return h&signMask != 0 }
+
+// Neg returns h with the sign flipped (including for NaN, matching IEEE
+// negate semantics).
+func (h F16) Neg() F16 { return h ^ signMask }
+
+// Abs returns h with the sign cleared.
+func (h F16) Abs() F16 { return h &^ signMask }
+
+// Add returns the correctly rounded binary16 sum a+b.
+func Add(a, b F16) F16 { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Sub returns the correctly rounded binary16 difference a-b.
+func Sub(a, b F16) F16 { return FromFloat32(a.Float32() - b.Float32()) }
+
+// Mul returns the correctly rounded binary16 product a*b.
+func Mul(a, b F16) F16 { return FromFloat32(a.Float32() * b.Float32()) }
+
+// Div returns the correctly rounded binary16 quotient a/b.
+func Div(a, b F16) F16 { return FromFloat32(a.Float32() / b.Float32()) }
+
+// MAC returns acc + a*b the way the PIM pipeline computes it: the MULT
+// stage rounds the product to binary16, then the ADD stage rounds the sum
+// to binary16 (two rounding steps, matching a multiplier feeding an adder
+// through a 16-bit pipeline register, Section IV-B).
+func MAC(acc, a, b F16) F16 { return Add(acc, Mul(a, b)) }
+
+// MAD returns a*b + c with the same two-step rounding as MAC.
+func MAD(a, b, c F16) F16 { return Add(Mul(a, b), c) }
+
+// ReLU returns max(h, 0), implemented exactly as the hardware does: a
+// 2-to-1 multiplexer controlled by the sign bit (Section III-C). Negative
+// inputs, including -0 and negative NaNs, yield +0.
+func ReLU(h F16) F16 {
+	if h&signMask != 0 {
+		return Zero
+	}
+	return h
+}
+
+// Eq reports numeric equality: +0 == -0, NaN != NaN.
+func Eq(a, b F16) bool {
+	if a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	if a.IsZero() && b.IsZero() {
+		return true
+	}
+	return a == b
+}
+
+// Less reports a < b under IEEE ordering (false if either is NaN).
+func Less(a, b F16) bool {
+	if a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	return a.Float32() < b.Float32()
+}
+
+// Bits returns the raw 16-bit encoding.
+func (h F16) Bits() uint16 { return uint16(h) }
+
+// FromBits builds an F16 from its raw encoding.
+func FromBits(b uint16) F16 { return F16(b) }
+
+// String renders the value in decimal (via float32).
+func (h F16) String() string {
+	switch {
+	case h.IsNaN():
+		return "NaN"
+	case h == PosInf:
+		return "+Inf"
+	case h == NegInf:
+		return "-Inf"
+	}
+	return trimFloat(h.Float32())
+}

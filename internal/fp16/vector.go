@@ -1,0 +1,151 @@
+package fp16
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Vector is a slice of binary16 values, the unit of data the 256-bit PIM
+// datapath moves and computes on (16 lanes x 16 bits).
+type Vector []F16
+
+// Lanes is the SIMD width of one PIM execution unit.
+const Lanes = 16
+
+// NewVector allocates a zeroed vector of n elements.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// FromFloat32s converts a float32 slice elementwise.
+func FromFloat32s(fs []float32) Vector {
+	v := make(Vector, len(fs))
+	for i, f := range fs {
+		v[i] = FromFloat32(f)
+	}
+	return v
+}
+
+// Float32s converts back to float32 elementwise.
+func (v Vector) Float32s() []float32 {
+	fs := make([]float32, len(v))
+	for i, h := range v {
+		fs[i] = h.Float32()
+	}
+	return fs
+}
+
+// AddVec computes dst[i] = a[i] + b[i] over the shortest common length and
+// returns dst.
+func AddVec(dst, a, b Vector) Vector {
+	n := min(len(dst), min(len(a), len(b)))
+	for i := 0; i < n; i++ {
+		dst[i] = Add(a[i], b[i])
+	}
+	return dst
+}
+
+// MulVec computes dst[i] = a[i] * b[i].
+func MulVec(dst, a, b Vector) Vector {
+	n := min(len(dst), min(len(a), len(b)))
+	for i := 0; i < n; i++ {
+		dst[i] = Mul(a[i], b[i])
+	}
+	return dst
+}
+
+// MACVec computes dst[i] += a[i] * b[i] with the PIM pipeline's two-step
+// rounding.
+func MACVec(dst, a, b Vector) Vector {
+	n := min(len(dst), min(len(a), len(b)))
+	for i := 0; i < n; i++ {
+		dst[i] = MAC(dst[i], a[i], b[i])
+	}
+	return dst
+}
+
+// ReLUVec computes dst[i] = ReLU(a[i]).
+func ReLUVec(dst, a Vector) Vector {
+	n := min(len(dst), len(a))
+	for i := 0; i < n; i++ {
+		dst[i] = ReLU(a[i])
+	}
+	return dst
+}
+
+// ReduceAdd sums the vector left to right in binary16 (the reduction order
+// the host uses when folding GRF partial sums).
+func (v Vector) ReduceAdd() F16 {
+	acc := Zero
+	for _, h := range v {
+		acc = Add(acc, h)
+	}
+	return acc
+}
+
+// Bytes serializes the vector little-endian, 2 bytes per lane, the DRAM
+// burst layout.
+func (v Vector) Bytes() []byte {
+	b := make([]byte, 2*len(v))
+	for i, h := range v {
+		binary.LittleEndian.PutUint16(b[2*i:], uint16(h))
+	}
+	return b
+}
+
+// PutBytes serializes into an existing buffer; it panics if b is shorter
+// than 2*len(v).
+func (v Vector) PutBytes(b []byte) {
+	for i, h := range v {
+		binary.LittleEndian.PutUint16(b[2*i:], uint16(h))
+	}
+}
+
+// VectorFromBytes parses little-endian 16-bit lanes from b (len(b)/2
+// elements).
+func VectorFromBytes(b []byte) Vector {
+	v := make(Vector, len(b)/2)
+	for i := range v {
+		v[i] = F16(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return v
+}
+
+// String renders the vector like "[1 2.5 -0.125]".
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, h := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(h.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func trimFloat(f float32) string {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 32)
+	return s
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between a
+// and b interpreted as float64, useful for approximate comparisons in
+// tests. It panics if the lengths differ.
+func MaxAbsDiff(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fp16: MaxAbsDiff length mismatch %d != %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		d := a[i].Float64() - b[i].Float64()
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package fp16
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = FromFloat32(float32(rng.NormFloat64()))
+	}
+	return v
+}
+
+func TestVectorBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 15, 16, 33} {
+		v := randVec(rng, n)
+		got := VectorFromBytes(v.Bytes())
+		if len(got) != len(v) {
+			t.Fatalf("n=%d: length %d", n, len(got))
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("n=%d lane %d: 0x%04x != 0x%04x", n, i, uint16(got[i]), uint16(v[i]))
+			}
+		}
+	}
+}
+
+func TestVectorBytesLittleEndian(t *testing.T) {
+	v := Vector{F16(0x1234)}
+	b := v.Bytes()
+	if b[0] != 0x34 || b[1] != 0x12 {
+		t.Fatalf("bytes = %x, want 3412", b)
+	}
+}
+
+func TestPutBytesMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := randVec(rng, Lanes)
+	buf := make([]byte, 2*Lanes)
+	v.PutBytes(buf)
+	want := v.Bytes()
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("byte %d: %02x != %02x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randVec(rng, Lanes)
+	b := randVec(rng, Lanes)
+
+	sum := AddVec(NewVector(Lanes), a, b)
+	prod := MulVec(NewVector(Lanes), a, b)
+	for i := 0; i < Lanes; i++ {
+		if sum[i] != Add(a[i], b[i]) {
+			t.Errorf("AddVec lane %d mismatch", i)
+		}
+		if prod[i] != Mul(a[i], b[i]) {
+			t.Errorf("MulVec lane %d mismatch", i)
+		}
+	}
+
+	acc := randVec(rng, Lanes)
+	want := make(Vector, Lanes)
+	copy(want, acc)
+	for i := range want {
+		want[i] = MAC(want[i], a[i], b[i])
+	}
+	MACVec(acc, a, b)
+	for i := range acc {
+		if acc[i] != want[i] {
+			t.Errorf("MACVec lane %d mismatch", i)
+		}
+	}
+
+	r := ReLUVec(NewVector(Lanes), a)
+	for i := range r {
+		if r[i] != ReLU(a[i]) {
+			t.Errorf("ReLUVec lane %d mismatch", i)
+		}
+	}
+}
+
+func TestReduceAddOrder(t *testing.T) {
+	// Left-to-right order matters in fp16; verify against explicit folding.
+	v := FromFloat32s([]float32{1000, 1, 1, 1, 1, 1, 1, 1})
+	acc := Zero
+	for _, h := range v {
+		acc = Add(acc, h)
+	}
+	if got := v.ReduceAdd(); got != acc {
+		t.Fatalf("ReduceAdd = %v, want %v", got, acc)
+	}
+}
+
+func TestFromFloat32sRoundTrip(t *testing.T) {
+	fs := []float32{0, 1, -1, 0.5, 1024, -65504}
+	v := FromFloat32s(fs)
+	back := v.Float32s()
+	for i := range fs {
+		if back[i] != fs[i] {
+			t.Errorf("element %d: %v != %v", i, back[i], fs[i])
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromFloat32s([]float32{1, 2, 3})
+	b := FromFloat32s([]float32{1, 2.5, 3})
+	if got := MaxAbsDiff(a, b); got != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", got)
+	}
+	if got := MaxAbsDiff(a, a); got != 0 {
+		t.Fatalf("self diff = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	MaxAbsDiff(a, a[:2])
+}
+
+func TestVectorQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		v := make(Vector, len(raw))
+		for i, r := range raw {
+			v[i] = F16(r)
+		}
+		got := VectorFromBytes(v.Bytes())
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package hbm
+
+import "fmt"
+
+// Variant selects the PIM microarchitecture evaluated in Fig. 14's design
+// space exploration on top of the baseline product configuration.
+type Variant uint8
+
+const (
+	// VariantBase is the fabricated product: one PIM unit per two banks,
+	// single bank access per instruction, separate RD/WR datapaths.
+	VariantBase Variant = iota
+	// Variant2X doubles the PIM resources (one unit per bank and twice the
+	// GRF), doubling on-chip compute bandwidth and the AAM reorder window
+	// at a 24% die-size cost (PIM-HBM-2x).
+	Variant2X
+	// Variant2BA lets one PIM instruction read the even and odd banks
+	// simultaneously, supplying two bank operands per command at a 60%
+	// power premium (PIM-HBM-2BA).
+	Variant2BA
+	// VariantSRW overlaps a column WR with a column RD so an instruction
+	// can take one operand from the write datapath and one from the bank
+	// (PIM-HBM-SRW).
+	VariantSRW
+)
+
+var variantNames = [...]string{"PIM-HBM", "PIM-HBM-2x", "PIM-HBM-2BA", "PIM-HBM-SRW"}
+
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Config describes one HBM2 or PIM-HBM device (stack).
+type Config struct {
+	PseudoChannels int // per device (16 for HBM2)
+	BankGroups     int // per pseudo channel (4)
+	BanksPerGroup  int // (4)
+	Rows           int // rows per bank (includes the reserved PIM_CONF rows)
+	RowBytes       int // row-buffer size (2048 for HBM2 pseudo channels)
+	AccessBytes    int // bytes per column access (32: 256 bits)
+
+	Timing Timing
+
+	// PIM configuration. PIMUnits is the number of PIM execution units per
+	// pseudo channel (8 in the product: one per two banks); 0 models a
+	// plain HBM2 device. Variant selects a Fig. 14 DSE microarchitecture.
+	PIMUnits int
+	Variant  Variant
+
+	// Functional enables data storage and real FP16 execution. When false
+	// the device is timing-only: commands advance clocks and counters but
+	// move no bytes, which large benchmark sweeps use.
+	Functional bool
+
+	// ECC enables the on-die SEC-DED engine of the HBM3-generation design
+	// (Section VIII): every 32-byte bank access is checked and corrected
+	// in both host and PIM modes. Functional mode only.
+	ECC bool
+}
+
+// HBM2Config returns the plain HBM2 device of the paper's baseline system
+// at the given memory clock (MHz).
+func HBM2Config(mhz int) Config {
+	return Config{
+		PseudoChannels: 16,
+		BankGroups:     4,
+		BanksPerGroup:  4,
+		Rows:           8192, // 16MB banks: 4 x 8Gb dies = 4 GiB per stack
+		RowBytes:       2048,
+		AccessBytes:    32,
+		Timing:         HBM2Timing(mhz),
+		PIMUnits:       0,
+		Functional:     true,
+	}
+}
+
+// PIMHBMConfig returns the fabricated PIM-HBM device: identical timing and
+// external behaviour to HBM2 (a drop-in replacement), with 8 PIM units per
+// pseudo channel and half the sub-arrays (half the rows) to make floorplan
+// room for them (Section VI).
+func PIMHBMConfig(mhz int) Config {
+	c := HBM2Config(mhz)
+	c.Rows = 4096 // half the sub-arrays make room for the PIM units
+	c.PIMUnits = 8
+	return c
+}
+
+// Banks returns the number of banks per pseudo channel.
+func (c Config) Banks() int { return c.BankGroups * c.BanksPerGroup }
+
+// ColumnsPerRow returns the number of column addresses per row.
+func (c Config) ColumnsPerRow() int { return c.RowBytes / c.AccessBytes }
+
+// BankBytes returns the capacity of one bank.
+func (c Config) BankBytes() int64 { return int64(c.Rows) * int64(c.RowBytes) }
+
+// DeviceBytes returns the capacity of the whole device.
+func (c Config) DeviceBytes() int64 {
+	return c.BankBytes() * int64(c.Banks()) * int64(c.PseudoChannels)
+}
+
+// OffChipGBps returns the peak off-chip I/O bandwidth of the device in
+// GB/s: 64 data bits per pseudo channel at double data rate.
+func (c Config) OffChipGBps() float64 {
+	freqGHz := 1000.0 / float64(c.Timing.TCKps)
+	pinGbps := 2 * freqGHz
+	return pinGbps * 64 / 8 * float64(c.PseudoChannels)
+}
+
+// OnChipGBps returns the peak on-chip compute bandwidth exposed to the PIM
+// units: each column command moves AccessBytes per operating bank (one
+// bank per PIM unit) every tCCD_L.
+func (c Config) OnChipGBps() float64 {
+	if c.PIMUnits == 0 {
+		return 0
+	}
+	units := c.PIMUnits
+	bytesPerCmd := float64(units * c.AccessBytes)
+	if c.Variant == Variant2BA {
+		bytesPerCmd *= 2
+	}
+	secPerCmd := float64(c.Timing.CCDL) * float64(c.Timing.TCKps) * 1e-12
+	return bytesPerCmd / secPerCmd * float64(c.PseudoChannels) / 1e9
+}
+
+// AAMWindow is the number of arithmetic PIM instructions that may execute
+// between ordering fences: limited by the GRF depth (Section VII-B).
+func (c Config) AAMWindow() int {
+	if c.Variant == Variant2X {
+		return 2 * 8
+	}
+	return 8
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.PseudoChannels <= 0 || c.BankGroups <= 0 || c.BanksPerGroup <= 0:
+		return fmt.Errorf("hbm: non-positive geometry")
+	case c.RowBytes <= 0 || c.AccessBytes <= 0 || c.RowBytes%c.AccessBytes != 0:
+		return fmt.Errorf("hbm: row %dB not a multiple of access %dB", c.RowBytes, c.AccessBytes)
+	case c.Rows <= NumConfRows:
+		return fmt.Errorf("hbm: %d rows leave no space beside the %d PIM_CONF rows", c.Rows, NumConfRows)
+	case c.PIMUnits < 0 || (c.PIMUnits > 0 && c.Banks()%c.PIMUnits != 0):
+		return fmt.Errorf("hbm: %d PIM units do not divide %d banks", c.PIMUnits, c.Banks())
+	case c.PIMUnits == 0 && c.Variant != VariantBase:
+		return fmt.Errorf("hbm: DSE variant on a non-PIM device")
+	case c.ECC && !c.Functional:
+		return fmt.Errorf("hbm: the ECC engine needs a functional device")
+	case c.ECC && c.AccessBytes%8 != 0:
+		return fmt.Errorf("hbm: ECC needs 64-bit-aligned accesses")
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package hbm
+
+import "fmt"
+
+// Device is one HBM2 or PIM-HBM stack: a set of independent pseudo
+// channels sharing a configuration.
+type Device struct {
+	cfg  Config
+	pchs []*PseudoChannel
+}
+
+// NewDevice builds a device from cfg.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg, pchs: make([]*PseudoChannel, cfg.PseudoChannels)}
+	for i := range d.pchs {
+		d.pchs[i] = newPCH(&d.cfg)
+	}
+	return d, nil
+}
+
+// MustNewDevice panics on configuration errors (for tests and fixed
+// experiment setups).
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// PCH returns pseudo channel i.
+func (d *Device) PCH(i int) *PseudoChannel {
+	if i < 0 || i >= len(d.pchs) {
+		panic(fmt.Sprintf("hbm: pseudo channel %d out of range", i))
+	}
+	return d.pchs[i]
+}
+
+// NumPCH returns the number of pseudo channels.
+func (d *Device) NumPCH() int { return len(d.pchs) }
+
+// Stats sums the counters across all pseudo channels.
+func (d *Device) Stats() Stats {
+	var s Stats
+	for _, p := range d.pchs {
+		s.Add(p.Stats())
+	}
+	return s
+}
+
+// ResetStats zeroes all pseudo channels' counters.
+func (d *Device) ResetStats() {
+	for _, p := range d.pchs {
+		p.ResetStats()
+	}
+}

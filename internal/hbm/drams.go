@@ -1,0 +1,102 @@
+package hbm
+
+// Other standard DRAM families. Section III opens with: "Although it is
+// illustrated based on HBM2 in this paper, it is applicable to any
+// standard DRAM such as DDR, LPDDR, and GDDR DRAM with a few changes."
+// These presets are representative JEDEC-class configurations of two such
+// families with PIM units at the bank I/O boundary; the rest of the stack
+// (ISA, execution units, runtime, BLAS) is geometry-agnostic and runs on
+// them unchanged — which is the point.
+
+// GDDR6Timing returns representative GDDR6 timing at the given command
+// clock in MHz (the CA clock; data runs much faster on WCK). Values
+// follow JESD250-class parts.
+func GDDR6Timing(mhz int) Timing {
+	t := Timing{
+		TCKps: 1000000 / mhz,
+		BL:    16, // BL16 on a 16-bit channel moves 32 bytes
+		RCD:   epsRound(18, mhz),
+		RP:    epsRound(18, mhz),
+		RAS:   epsRound(32, mhz),
+		RC:    epsRound(50, mhz),
+		RL:    epsRound(18, mhz),
+		WL:    epsRound(6, mhz),
+		CCDS:  2,
+		CCDL:  4,
+		RRDS:  epsRound(5, mhz),
+		RRDL:  epsRound(7, mhz),
+		FAW:   epsRound(22, mhz),
+		WR:    epsRound(15, mhz),
+		RTP:   epsRound(6, mhz),
+		WTRS:  epsRound(4, mhz),
+		WTRL:  epsRound(8, mhz),
+		RTW:   epsRound(9, mhz),
+		REFI:  epsRound(3900, mhz),
+		RFC:   epsRound(280, mhz),
+	}
+	return t
+}
+
+// LPDDR5Timing returns representative LPDDR5 timing at the given command
+// clock in MHz (JESD209-5-class).
+func LPDDR5Timing(mhz int) Timing {
+	t := Timing{
+		TCKps: 1000000 / mhz,
+		BL:    8, // BL16 on x16 halves; modeled as 8 beats of 32 bits
+		RCD:   epsRound(18, mhz),
+		RP:    epsRound(21, mhz),
+		RAS:   epsRound(42, mhz),
+		RC:    epsRound(63, mhz),
+		RL:    epsRound(20, mhz),
+		WL:    epsRound(10, mhz),
+		CCDS:  4,
+		CCDL:  8,
+		RRDS:  epsRound(7, mhz),
+		RRDL:  epsRound(10, mhz),
+		FAW:   epsRound(30, mhz),
+		WR:    epsRound(18, mhz),
+		RTP:   epsRound(7, mhz),
+		WTRS:  epsRound(6, mhz),
+		WTRL:  epsRound(12, mhz),
+		RTW:   epsRound(12, mhz),
+		REFI:  epsRound(3900, mhz),
+		RFC:   epsRound(380, mhz),
+	}
+	return t
+}
+
+// epsRound converts nanoseconds to cycles at mhz, rounding up.
+func epsRound(ns, mhz int) int { return (ns*mhz + 999) / 1000 }
+
+// GDDR6PIMConfig models a GDDR6 accelerator-in-memory part (the class
+// the paper's related work calls Newton/AiM): two channels per device,
+// 16 banks per channel, one PIM unit per bank.
+func GDDR6PIMConfig(mhz int) Config {
+	return Config{
+		PseudoChannels: 2,
+		BankGroups:     4,
+		BanksPerGroup:  4,
+		Rows:           8192,
+		RowBytes:       2048,
+		AccessBytes:    32,
+		Timing:         GDDR6Timing(mhz),
+		PIMUnits:       16, // one per bank
+		Functional:     true,
+	}
+}
+
+// LPDDR5PIMConfig models a mobile PIM part: one channel per die, 16
+// banks, one PIM unit per four banks (tighter area budget).
+func LPDDR5PIMConfig(mhz int) Config {
+	return Config{
+		PseudoChannels: 1,
+		BankGroups:     4,
+		BanksPerGroup:  4,
+		Rows:           16384,
+		RowBytes:       2048,
+		AccessBytes:    32,
+		Timing:         LPDDR5Timing(mhz),
+		PIMUnits:       4,
+		Functional:     true,
+	}
+}

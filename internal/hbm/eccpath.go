@@ -1,0 +1,72 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pimsim/internal/ecc"
+)
+
+// The on-die ECC datapath (Section VIII). Every functional 32-byte bank
+// access funnels through bankReadData / bankWriteData so the same engine
+// serves host reads, broadcast accesses and the PIM execution units —
+// possible precisely because PIM accesses memory at the host's
+// granularity.
+
+// bankWriteData stores a 32-byte block at the open row's column,
+// generating ECC check bits when the engine is enabled.
+func (p *PseudoChannel) bankWriteData(b *bank, col uint32, data []byte) error {
+	if len(data) != p.cfg.AccessBytes {
+		return fmt.Errorf("hbm: write payload %dB, want %dB", len(data), p.cfg.AccessBytes)
+	}
+	off := int(col) * p.cfg.AccessBytes
+	copy(b.row(b.openRow, p.cfg.RowBytes)[off:], data)
+	if p.cfg.ECC {
+		par := ecc.EncodeBlock(data)
+		copy(b.parityRow(b.openRow, p.cfg.RowBytes)[off/8:], par[:])
+	}
+	return nil
+}
+
+// bankReadData loads a 32-byte block from the open row's column into buf,
+// checking and correcting through the ECC engine when enabled. A
+// double-bit error is reported as a device error (the poisoned data is
+// not forwarded silently).
+func (p *PseudoChannel) bankReadData(b *bank, col uint32, buf []byte) error {
+	off := int(col) * p.cfg.AccessBytes
+	copy(buf[:p.cfg.AccessBytes], b.row(b.openRow, p.cfg.RowBytes)[off:])
+	if !p.cfg.ECC {
+		return nil
+	}
+	var par [ecc.WordsPerBlock]uint8
+	copy(par[:], b.parityRow(b.openRow, p.cfg.RowBytes)[off/8:])
+	corrected, uncorrectable := ecc.DecodeBlock(buf[:p.cfg.AccessBytes], par)
+	p.stats.ECCCorrected += int64(corrected)
+	if uncorrectable {
+		p.stats.ECCUncorrectable++
+		return fmt.Errorf("hbm: uncorrectable ECC error at row %d col %d", b.openRow, col)
+	}
+	if corrected > 0 {
+		// Scrub: write the corrected data (and fresh parity) back.
+		copy(b.row(b.openRow, p.cfg.RowBytes)[off:], buf[:p.cfg.AccessBytes])
+		fresh := ecc.EncodeBlock(buf[:p.cfg.AccessBytes])
+		copy(b.parityRow(b.openRow, p.cfg.RowBytes)[off/8:], fresh[:])
+	}
+	return nil
+}
+
+// InjectBitError flips one stored data bit without touching the check
+// bits — a fault-injection hook for ECC testing. bit indexes into the
+// 256-bit block (0-255).
+func (p *PseudoChannel) InjectBitError(bg, bankAddr int, row, col uint32, bit int) error {
+	if !p.cfg.Functional {
+		return fmt.Errorf("hbm: fault injection needs a functional device")
+	}
+	if bit < 0 || bit >= 8*p.cfg.AccessBytes {
+		return fmt.Errorf("hbm: bit %d out of range", bit)
+	}
+	b := &p.banks[p.flat(bg, bankAddr)]
+	data := b.row(row, p.cfg.RowBytes)
+	off := int(col)*p.cfg.AccessBytes + bit/8
+	data[off] ^= 1 << (bit % 8)
+	return nil
+}

@@ -1,0 +1,109 @@
+package hbm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func eccConfig() Config {
+	cfg := PIMHBMConfig(1000)
+	cfg.ECC = true
+	return cfg
+}
+
+func TestECCValidation(t *testing.T) {
+	cfg := eccConfig()
+	cfg.Functional = false
+	if err := cfg.Validate(); err == nil {
+		t.Error("ECC on a timing-only device accepted")
+	}
+	if err := eccConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECCSingleBitCorrectedAndScrubbed(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	payload := bytes.Repeat([]byte{0xA5, 0x3C}, 16)
+	s.issue(Command{Kind: CmdACT, BG: 1, Bank: 2, Row: 10})
+	s.issue(Command{Kind: CmdWR, BG: 1, Bank: 2, Col: 4, Data: payload})
+
+	if err := s.p.InjectBitError(1, 2, 10, 4, 77); err != nil {
+		t.Fatal(err)
+	}
+	res := s.issue(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 4})
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatalf("corrected read = %x", res.Data)
+	}
+	if got := s.p.Stats().ECCCorrected; got != 1 {
+		t.Errorf("corrected count = %d", got)
+	}
+	// The scrub rewrote the array: a second read is clean.
+	res = s.issue(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 4})
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatalf("post-scrub read = %x", res.Data)
+	}
+	if got := s.p.Stats().ECCCorrected; got != 1 {
+		t.Errorf("scrub did not stick: corrected count = %d", got)
+	}
+}
+
+func TestECCDoubleBitRejected(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	payload := make([]byte, 32)
+	s.issue(Command{Kind: CmdACT, BG: 0, Bank: 0, Row: 3})
+	s.issue(Command{Kind: CmdWR, BG: 0, Bank: 0, Col: 0, Data: payload})
+	// Two flips in the same 64-bit word.
+	if err := s.p.InjectBitError(0, 0, 3, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.p.InjectBitError(0, 0, 3, 0, 17); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.issueErr(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0}); err == nil {
+		t.Fatal("poisoned data forwarded silently")
+	}
+	if got := s.p.Stats().ECCUncorrectable; got != 1 {
+		t.Errorf("uncorrectable count = %d", got)
+	}
+}
+
+func TestECCCleanPathNoFalsePositives(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	s.issue(Command{Kind: CmdACT, BG: 2, Bank: 1, Row: 8})
+	for col := uint32(0); col < 8; col++ {
+		data := bytes.Repeat([]byte{byte(col), ^byte(col)}, 16)
+		s.issue(Command{Kind: CmdWR, BG: 2, Bank: 1, Col: col, Data: data})
+		res := s.issue(Command{Kind: CmdRD, BG: 2, Bank: 1, Col: col})
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("col %d: %x", col, res.Data)
+		}
+	}
+	st := s.p.Stats()
+	if st.ECCCorrected != 0 || st.ECCUncorrectable != 0 {
+		t.Errorf("clean traffic produced ECC events: %+v", st)
+	}
+}
+
+func TestECCUntouchedRowsReadClean(t *testing.T) {
+	// Never-written rows are all zero with zero parity — a valid codeword.
+	s := newTestPCH(t, eccConfig())
+	s.issue(Command{Kind: CmdACT, BG: 3, Bank: 3, Row: 123})
+	res := s.issue(Command{Kind: CmdRD, BG: 3, Bank: 3, Col: 9})
+	if !bytes.Equal(res.Data, make([]byte, 32)) {
+		t.Fatalf("fresh row = %x", res.Data)
+	}
+}
+
+func TestInjectBitErrorValidation(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	if err := s.p.InjectBitError(0, 0, 0, 0, 256); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	cfg := PIMHBMConfig(1000)
+	cfg.Functional = false
+	d := MustNewDevice(cfg)
+	if err := d.PCH(0).InjectBitError(0, 0, 0, 0, 0); err == nil {
+		t.Error("fault injection on a timing-only device accepted")
+	}
+}

@@ -1,0 +1,655 @@
+package hbm
+
+import "fmt"
+
+// Mode is the operating mode of a pseudo channel (Section III-B, Fig. 3).
+type Mode uint8
+
+const (
+	ModeSB    Mode = iota // single-bank: standard DRAM behaviour
+	ModeAB                // all-bank: commands broadcast to all banks
+	ModeABPIM             // all-bank PIM: column commands trigger PIM instructions
+)
+
+var modeNames = [...]string{"SB", "AB", "AB-PIM"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// PIM configuration space: the top NumConfRows rows of every bank are
+// reserved (PIM CONF, the gray region of Fig. 3). The device driver keeps
+// application data out of them.
+const NumConfRows = 4
+
+// RegSpace identifies which PIM register file a configuration-row access
+// targets.
+type RegSpace uint8
+
+const (
+	RegMode RegSpace = iota // mode row: ABMR / SBMR handshakes + PIM_OP_MODE
+	RegCRF                  // instruction buffer
+	RegGRF                  // vector registers
+	RegSRF                  // scalar registers
+)
+
+// Mode-row column assignments.
+const (
+	ColPIMOpMode = 2 // WR with data[0]&1 enters/exits AB-PIM mode
+)
+
+// Conf-row placement within a bank.
+func (c Config) ModeRow() uint32 { return uint32(c.Rows - 1) }
+func (c Config) CRFRow() uint32  { return uint32(c.Rows - 2) }
+func (c Config) GRFRow() uint32  { return uint32(c.Rows - 3) }
+func (c Config) SRFRow() uint32  { return uint32(c.Rows - 4) }
+
+// confSpace maps a row to its register space, or ok=false for normal rows.
+// Plain HBM2 devices have no PIM configuration space: every row is an
+// ordinary array row.
+func (c Config) confSpace(row uint32) (RegSpace, bool) {
+	if c.PIMUnits == 0 {
+		return 0, false
+	}
+	switch row {
+	case c.ModeRow():
+		return RegMode, true
+	case c.CRFRow():
+		return RegCRF, true
+	case c.GRFRow():
+		return RegGRF, true
+	case c.SRFRow():
+		return RegSRF, true
+	}
+	return 0, false
+}
+
+// Mode-transition handshake banks: ACT+PRE on the mode row of bank group
+// 0, bank 0 enters AB mode (the ABMR address); on bank 1 it returns to SB
+// (SBMR). The PIM device driver reserves these addresses (Section V-A).
+const (
+	ABMRBank = 0
+	SBMRBank = 1
+
+	abmrBank = ABMRBank
+	sbmrBank = SBMRBank
+)
+
+// BankAccess lets an attached PIM executor move data to and from the row
+// buffers of the banks its units sit between. The row is implicit: the
+// currently open row of the addressed bank.
+type BankAccess interface {
+	// ReadBank copies the 32-byte block at the open row's column col of
+	// bank bankIdx (a flat index, bg*BanksPerGroup+bank) into buf.
+	ReadBank(bankIdx int, col uint32, buf []byte) error
+	// WriteBank stores data at the open row's column col of bank bankIdx.
+	WriteBank(bankIdx int, col uint32, data []byte) error
+}
+
+// TriggerContext describes one AB-PIM column command to the executor.
+type TriggerContext struct {
+	Kind    CmdKind // CmdRD or CmdWR
+	BankSel int     // 0: even banks of each pair, 1: odd banks
+	Row     uint32  // the open row (implicit operand row address)
+	Col     uint32  // the triggering column address
+	WrData  []byte  // host payload on the write datapath (CmdWR only)
+	Access  BankAccess
+	Variant Variant
+	// Functional mirrors Config.Functional: when false the executor should
+	// sequence instructions (and touch banks for the stat counters) but
+	// skip the FP16 math.
+	Functional bool
+}
+
+// TriggerInfo reports what the executor did for one trigger.
+type TriggerInfo struct {
+	Instructions int // instructions executed across all units
+	Arithmetic   int // of which arithmetic (FPU active)
+	DataMoves    int // of which MOV/FILL (register datapath active)
+}
+
+// PIMExecutor is the execution layer attached to a pseudo channel. The pim
+// package provides the implementation; the hbm package only defines the
+// contract so the device model stays independent of the datapath.
+type PIMExecutor interface {
+	// RegisterWrite stores a 32-byte block into unit's register space.
+	RegisterWrite(unit int, space RegSpace, col uint32, data []byte) error
+	// RegisterRead loads a 32-byte block from unit's register space.
+	RegisterRead(unit int, space RegSpace, col uint32, buf []byte) error
+	// Trigger executes the next PIM instruction on every unit in lock
+	// step, in response to one AB-PIM column command.
+	Trigger(ctx TriggerContext) (TriggerInfo, error)
+	// ResetPPC rewinds all units' program counters (AB-PIM entry).
+	ResetPPC()
+}
+
+// PseudoChannel models one HBM2 pseudo channel: 16 banks in 4 bank groups
+// behind a 64-bit data path, plus the PIM mode logic.
+type PseudoChannel struct {
+	cfg   *Config
+	banks []bank // flat: bg*BanksPerGroup + bank
+	mode  Mode
+
+	exec PIMExecutor
+
+	// Channel- and group-level timing state.
+	colAllowedS int64   // next column under tCCD_S (channel-wide)
+	colAllowedL []int64 // next column per bank group under tCCD_L
+	wrAllowed   int64   // RD->WR turnaround
+	rdAllowedS  int64   // WR->RD turnaround, different bank group
+	rdAllowedL  []int64 // WR->RD turnaround, same bank group
+	actWindow   faw     // tFAW tracking
+	rrdAllowed  int64   // tRRD_S
+	rrdAllowedL []int64 // tRRD_L per bank group
+	busyUntil   int64   // refresh blackout
+
+	stats Stats
+}
+
+// newPCH builds a pseudo channel for cfg.
+func newPCH(cfg *Config) *PseudoChannel {
+	p := &PseudoChannel{
+		cfg:         cfg,
+		banks:       make([]bank, cfg.Banks()),
+		colAllowedL: make([]int64, cfg.BankGroups),
+		rdAllowedL:  make([]int64, cfg.BankGroups),
+		rrdAllowedL: make([]int64, cfg.BankGroups),
+	}
+	// Seed the four-activate window in the distant past so the first four
+	// ACTs are unconstrained.
+	for i := range p.actWindow.times {
+		p.actWindow.times[i] = -(1 << 40)
+	}
+	return p
+}
+
+// AttachPIM connects the execution layer. It must be called before any
+// AB-PIM activity on a PIM-enabled configuration.
+func (p *PseudoChannel) AttachPIM(e PIMExecutor) { p.exec = e }
+
+// Mode returns the current operating mode.
+func (p *PseudoChannel) Mode() Mode { return p.mode }
+
+// OpenRow reports the open row of a bank, or ok == false when the bank is
+// precharged. Controllers use this to track row-buffer state without
+// shadowing it.
+func (p *PseudoChannel) OpenRow(bg, bank int) (row uint32, ok bool) {
+	b := &p.banks[p.flat(bg, bank)]
+	if b.state != bankActive {
+		return 0, false
+	}
+	return b.openRow, true
+}
+
+// Stats returns the accumulated counters.
+func (p *PseudoChannel) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters.
+func (p *PseudoChannel) ResetStats() { p.stats = Stats{} }
+
+// flat returns the flat bank index for a command address.
+func (p *PseudoChannel) flat(bg, b int) int { return bg*p.cfg.BanksPerGroup + b }
+
+// unitFor maps a flat bank index to its PIM unit.
+func (p *PseudoChannel) unitFor(bankIdx int) int {
+	banksPerUnit := p.cfg.Banks() / p.cfg.PIMUnits
+	return bankIdx / banksPerUnit
+}
+
+// EarliestIssue returns the earliest cycle >= now at which cmd may legally
+// issue. It does not change state and returns an error for commands that
+// are illegal regardless of timing (bad address, closed row, wrong mode).
+func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
+	if err := p.cfg.addrCheck(cmd); err != nil {
+		return 0, err
+	}
+	t := maxi64(now, p.busyUntil)
+	tm := &p.cfg.Timing
+
+	broadcast := p.mode != ModeSB && !p.isModeHandshake(cmd)
+
+	switch cmd.Kind {
+	case CmdACT:
+		if broadcast {
+			if cmd.Row >= p.cfg.ModeRow() {
+				return 0, fmt.Errorf("hbm: broadcast ACT to the mode row is illegal")
+			}
+			for i := range p.banks {
+				t = maxi64(t, p.banks[i].earliestACT())
+			}
+			return t, nil
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state == bankActive {
+			return 0, fmt.Errorf("hbm: ACT to open bank bg%d b%d", cmd.BG, cmd.Bank)
+		}
+		t = maxi64(t, b.earliestACT())
+		t = maxi64(t, p.rrdAllowed)
+		t = maxi64(t, p.rrdAllowedL[cmd.BG])
+		t = maxi64(t, p.actWindow.earliest(int64(tm.FAW)))
+		return t, nil
+
+	case CmdPRE:
+		if broadcast {
+			for i := range p.banks {
+				if p.banks[i].state == bankActive {
+					t = maxi64(t, p.banks[i].preAllowed)
+				}
+			}
+			return t, nil
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state != bankActive {
+			return 0, fmt.Errorf("hbm: PRE to idle bank bg%d b%d", cmd.BG, cmd.Bank)
+		}
+		return maxi64(t, b.preAllowed), nil
+
+	case CmdPREA:
+		for i := range p.banks {
+			if p.banks[i].state == bankActive {
+				t = maxi64(t, p.banks[i].preAllowed)
+			}
+		}
+		return t, nil
+
+	case CmdRD, CmdWR:
+		t = maxi64(t, p.colAllowedS)
+		if cmd.Kind == CmdWR {
+			t = maxi64(t, p.wrAllowed)
+		} else {
+			t = maxi64(t, p.rdAllowedS)
+		}
+		if broadcast {
+			for bg := range p.colAllowedL {
+				t = maxi64(t, p.colAllowedL[bg])
+				if cmd.Kind == CmdRD {
+					t = maxi64(t, p.rdAllowedL[bg])
+				}
+			}
+			for i := range p.banks {
+				if p.banks[i].state != bankActive {
+					return 0, fmt.Errorf("hbm: broadcast %s with bank %d idle", cmd.Kind, i)
+				}
+				t = maxi64(t, p.banks[i].earliestCol(cmd.Kind))
+			}
+			return t, nil
+		}
+		t = maxi64(t, p.colAllowedL[cmd.BG])
+		if cmd.Kind == CmdRD {
+			t = maxi64(t, p.rdAllowedL[cmd.BG])
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state != bankActive {
+			return 0, fmt.Errorf("hbm: %s to idle bank bg%d b%d", cmd.Kind, cmd.BG, cmd.Bank)
+		}
+		return maxi64(t, b.earliestCol(cmd.Kind)), nil
+
+	case CmdREF:
+		for i := range p.banks {
+			if p.banks[i].state == bankActive {
+				return 0, fmt.Errorf("hbm: REF with bank %d active", i)
+			}
+			t = maxi64(t, p.banks[i].earliestACT())
+		}
+		return t, nil
+	}
+	return 0, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+}
+
+// isModeHandshake reports whether cmd is part of the single-bank
+// mode-transition handshake (ACT/PRE/WR on the mode row of bank group 0,
+// bank 0 or 1).
+func (p *PseudoChannel) isModeHandshake(cmd Command) bool {
+	if p.cfg.PIMUnits == 0 {
+		return false
+	}
+	if cmd.BG != 0 || (cmd.Bank != abmrBank && cmd.Bank != sbmrBank) {
+		return false
+	}
+	switch cmd.Kind {
+	case CmdACT:
+		return cmd.Row == p.cfg.ModeRow()
+	case CmdPRE, CmdRD, CmdWR:
+		b := p.banks[p.flat(cmd.BG, cmd.Bank)]
+		return b.state == bankActive && b.openRow == p.cfg.ModeRow()
+	}
+	return false
+}
+
+// Issue executes cmd at cycle `at`. `at` must be at or after the cycle
+// EarliestIssue reports; Issue re-validates and errors otherwise, so a
+// controller bug cannot silently violate timing.
+func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
+	earliest, err := p.EarliestIssue(cmd, at)
+	if err != nil {
+		return IssueResult{}, err
+	}
+	if at < earliest {
+		return IssueResult{}, fmt.Errorf("hbm: %s issued at %d before earliest legal cycle %d", cmd, at, earliest)
+	}
+	res := IssueResult{Cycle: at}
+	tm := &p.cfg.Timing
+	broadcast := p.mode != ModeSB && !p.isModeHandshake(cmd)
+
+	switch cmd.Kind {
+	case CmdACT:
+		if broadcast {
+			for i := range p.banks {
+				p.banks[i].activate(cmd.Row, at, tm)
+			}
+			p.stats.ABACT++
+			return res, nil
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		b.activate(cmd.Row, at, tm)
+		p.actWindow.record(at)
+		p.rrdAllowed = maxi64(p.rrdAllowed, at+int64(tm.RRDS))
+		p.rrdAllowedL[cmd.BG] = maxi64(p.rrdAllowedL[cmd.BG], at+int64(tm.RRDL))
+		p.stats.ACT++
+		return res, nil
+
+	case CmdPRE:
+		if broadcast {
+			for i := range p.banks {
+				if p.banks[i].state == bankActive {
+					p.banks[i].precharge(at, tm)
+				}
+			}
+			p.stats.ABPRE++
+			return res, nil
+		}
+		idx := p.flat(cmd.BG, cmd.Bank)
+		wasHandshake := p.isModeHandshake(cmd)
+		p.banks[idx].precharge(at, tm)
+		p.stats.PRE++
+		if wasHandshake {
+			p.completeHandshake(cmd.Bank)
+		}
+		return res, nil
+
+	case CmdPREA:
+		for i := range p.banks {
+			if p.banks[i].state == bankActive {
+				p.banks[i].precharge(at, tm)
+				p.stats.PRE++
+			}
+		}
+		return res, nil
+
+	case CmdRD, CmdWR:
+		p.updateColumnTiming(cmd, at, broadcast)
+		if broadcast {
+			return p.issueBroadcastColumn(cmd, res)
+		}
+		return p.issueSBColumn(cmd, res)
+
+	case CmdREF:
+		until := at + int64(tm.RFC)
+		for i := range p.banks {
+			p.banks[i].blockUntil(until)
+		}
+		p.busyUntil = maxi64(p.busyUntil, until)
+		p.stats.REF++
+		return res, nil
+	}
+	return IssueResult{}, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+}
+
+// updateColumnTiming applies bus occupancy and turnaround bookkeeping for
+// a column command issued at cycle at.
+func (p *PseudoChannel) updateColumnTiming(cmd Command, at int64, broadcast bool) {
+	tm := &p.cfg.Timing
+	p.colAllowedS = maxi64(p.colAllowedS, at+int64(tm.CCDS))
+	if broadcast {
+		// All bank groups are occupied; the next column command of any
+		// kind waits tCCD_L.
+		for bg := range p.colAllowedL {
+			p.colAllowedL[bg] = maxi64(p.colAllowedL[bg], at+int64(tm.CCDL))
+		}
+		p.colAllowedS = maxi64(p.colAllowedS, at+int64(tm.CCDL))
+	} else {
+		p.colAllowedL[cmd.BG] = maxi64(p.colAllowedL[cmd.BG], at+int64(tm.CCDL))
+	}
+	if cmd.Kind == CmdRD {
+		p.wrAllowed = maxi64(p.wrAllowed, at+int64(tm.RTW))
+	} else {
+		dataEnd := at + int64(tm.WL+tm.BL/2)
+		p.rdAllowedS = maxi64(p.rdAllowedS, dataEnd+int64(tm.WTRS))
+		if broadcast {
+			for bg := range p.rdAllowedL {
+				p.rdAllowedL[bg] = maxi64(p.rdAllowedL[bg], dataEnd+int64(tm.WTRL))
+			}
+		} else {
+			p.rdAllowedL[cmd.BG] = maxi64(p.rdAllowedL[cmd.BG], dataEnd+int64(tm.WTRL))
+		}
+	}
+}
+
+// issueSBColumn performs a single-bank column access: either a normal data
+// access through the I/O PHY or a PIM register access when the open row is
+// in the configuration space.
+func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult, error) {
+	idx := p.flat(cmd.BG, cmd.Bank)
+	b := &p.banks[idx]
+	b.column(cmd.Kind, res.Cycle, &p.cfg.Timing)
+	p.stats.OffChipBytes += int64(p.cfg.AccessBytes)
+	if cmd.Kind == CmdRD {
+		p.stats.RD++
+	} else {
+		p.stats.WR++
+	}
+
+	if space, ok := p.cfg.confSpace(b.openRow); ok {
+		return p.registerAccess(cmd, res, space, []int{idx})
+	}
+
+	// Normal array access.
+	if cmd.Kind == CmdRD {
+		p.stats.BankReads++
+		if p.cfg.Functional {
+			buf := make([]byte, p.cfg.AccessBytes)
+			if err := p.bankReadData(b, cmd.Col, buf); err != nil {
+				return res, err
+			}
+			res.Data = buf
+		}
+		return res, nil
+	}
+	p.stats.BankWrites++
+	if p.cfg.Functional {
+		if err := p.bankWriteData(b, cmd.Col, cmd.Data); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// issueBroadcastColumn performs an AB or AB-PIM column access.
+func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (IssueResult, error) {
+	openRow := p.banks[0].openRow
+	for i := range p.banks {
+		p.banks[i].column(cmd.Kind, res.Cycle, &p.cfg.Timing)
+	}
+	if cmd.Kind == CmdRD {
+		p.stats.ABRD++
+	} else {
+		p.stats.ABWR++
+	}
+
+	// Register space: broadcast to every PIM unit.
+	if space, ok := p.cfg.confSpace(openRow); ok {
+		all := make([]int, p.cfg.Banks())
+		for i := range all {
+			all[i] = i
+		}
+		return p.registerAccess(cmd, res, space, all)
+	}
+
+	if p.mode == ModeABPIM {
+		if p.exec == nil {
+			return res, fmt.Errorf("hbm: AB-PIM column with no PIM executor attached")
+		}
+		info, err := p.exec.Trigger(TriggerContext{
+			Kind:       cmd.Kind,
+			BankSel:    cmd.Bank & 1,
+			Row:        openRow,
+			Col:        cmd.Col,
+			WrData:     cmd.Data,
+			Access:     (*pchBankAccess)(p),
+			Variant:    p.cfg.Variant,
+			Functional: p.cfg.Functional,
+		})
+		if err != nil {
+			return res, err
+		}
+		if cmd.Kind == CmdWR {
+			// A WR trigger still carries a 32-byte payload across the I/O
+			// PHY (operand loading); an RD trigger moves nothing off chip.
+			p.stats.OffChipBytes += int64(p.cfg.AccessBytes)
+		}
+		res.PIMSteps = info.Instructions
+		p.stats.PIMInstr += int64(info.Instructions)
+		p.stats.PIMArith += int64(info.Arithmetic)
+		p.stats.PIMMove += int64(info.DataMoves)
+		return res, nil
+	}
+
+	// Plain AB data access: a write broadcasts the payload to all banks
+	// (how operands are replicated across banks); a read drives every
+	// bank's IOSA but only bank 0's data reaches the I/O mux.
+	p.stats.OffChipBytes += int64(p.cfg.AccessBytes)
+	if cmd.Kind == CmdWR {
+		p.stats.BankWrites += int64(len(p.banks))
+		if p.cfg.Functional {
+			for i := range p.banks {
+				if err := p.bankWriteData(&p.banks[i], cmd.Col, cmd.Data); err != nil {
+					return res, err
+				}
+			}
+		}
+		return res, nil
+	}
+	p.stats.BankReads += int64(len(p.banks))
+	if p.cfg.Functional {
+		buf := make([]byte, p.cfg.AccessBytes)
+		if err := p.bankReadData(&p.banks[0], cmd.Col, buf); err != nil {
+			return res, err
+		}
+		res.Data = buf
+	}
+	return res, nil
+}
+
+// registerAccess routes a column command on a configuration row.
+func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSpace, bankIdxs []int) (IssueResult, error) {
+	if space == RegMode {
+		if cmd.Kind == CmdWR && cmd.Col == ColPIMOpMode {
+			return res, p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1)
+		}
+		// Other mode-row accesses read back zero / are ignored.
+		if cmd.Kind == CmdRD && p.cfg.Functional {
+			res.Data = make([]byte, p.cfg.AccessBytes)
+		}
+		return res, nil
+	}
+	if p.cfg.PIMUnits == 0 || p.exec == nil {
+		return res, fmt.Errorf("hbm: PIM register access on a device without PIM units")
+	}
+	seen := make(map[int]bool)
+	for _, idx := range bankIdxs {
+		u := p.unitFor(idx)
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		switch cmd.Kind {
+		case CmdWR:
+			p.stats.RegWrites++
+			if err := p.exec.RegisterWrite(u, space, cmd.Col, cmd.Data); err != nil {
+				return res, err
+			}
+		case CmdRD:
+			buf := make([]byte, p.cfg.AccessBytes)
+			if err := p.exec.RegisterRead(u, space, cmd.Col, buf); err != nil {
+				return res, err
+			}
+			if res.Data == nil {
+				res.Data = buf // a broadcast read returns the first unit's data
+			}
+		}
+	}
+	return res, nil
+}
+
+// setPIMOpMode handles the PIM_OP_MODE register (Fig. 3c).
+func (p *PseudoChannel) setPIMOpMode(on bool) error {
+	switch {
+	case p.mode == ModeSB:
+		return fmt.Errorf("hbm: PIM_OP_MODE write in SB mode; enter AB mode first")
+	case on && p.mode == ModeAB:
+		if p.cfg.PIMUnits == 0 {
+			return fmt.Errorf("hbm: AB-PIM mode on a device without PIM units")
+		}
+		if p.exec == nil {
+			return fmt.Errorf("hbm: AB-PIM mode with no PIM executor attached")
+		}
+		p.mode = ModeABPIM
+		p.exec.ResetPPC()
+		p.stats.ModeSwitches++
+	case !on && p.mode == ModeABPIM:
+		p.mode = ModeAB
+		p.stats.ModeSwitches++
+	}
+	return nil
+}
+
+// completeHandshake finishes an ACT+PRE mode-transition sequence.
+func (p *PseudoChannel) completeHandshake(bankAddr int) {
+	switch {
+	case bankAddr == abmrBank && p.mode == ModeSB:
+		p.mode = ModeAB
+		p.stats.ModeSwitches++
+	case bankAddr == sbmrBank && p.mode != ModeSB:
+		p.mode = ModeSB
+		p.stats.ModeSwitches++
+	}
+}
+
+// pchBankAccess adapts the pseudo channel to the BankAccess interface with
+// stat accounting for PIM-side row-buffer traffic.
+type pchBankAccess PseudoChannel
+
+func (a *pchBankAccess) ReadBank(bankIdx int, col uint32, buf []byte) error {
+	p := (*PseudoChannel)(a)
+	if bankIdx < 0 || bankIdx >= len(p.banks) {
+		return fmt.Errorf("hbm: bank index %d out of range", bankIdx)
+	}
+	b := &p.banks[bankIdx]
+	if b.state != bankActive {
+		return fmt.Errorf("hbm: PIM read from idle bank %d", bankIdx)
+	}
+	p.stats.BankReads++
+	if p.cfg.Functional {
+		return p.bankReadData(b, col, buf)
+	}
+	return nil
+}
+
+func (a *pchBankAccess) WriteBank(bankIdx int, col uint32, data []byte) error {
+	p := (*PseudoChannel)(a)
+	if bankIdx < 0 || bankIdx >= len(p.banks) {
+		return fmt.Errorf("hbm: bank index %d out of range", bankIdx)
+	}
+	b := &p.banks[bankIdx]
+	if b.state != bankActive {
+		return fmt.Errorf("hbm: PIM write to idle bank %d", bankIdx)
+	}
+	p.stats.BankWrites++
+	if p.cfg.Functional {
+		return p.bankWriteData(b, col, data)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package isa
+
+// Operand-combination enumeration reproducing Table II.
+//
+// Table II counts, per operation type, how many (SRC0, SRC1, DST) source
+// routings the datapath supports: MUL 32, ADD 40, MAC 14, MAD 28 (114
+// compute combinations) plus 24 ways of data movement. The counts follow
+// from three port constraints, encoded in Validate:
+//
+//	C1  single bank data port: SRC0 and SRC1 cannot both be banks;
+//	C2  single scalar port (ADD): SRC0 and SRC1 cannot both be SRF;
+//	C3  accumulator/addend port (MAC, MAD): the implicit third GRF access
+//	    occupies one GRF read port, so SRC0 and SRC1 cannot both read the
+//	    same GRF half.
+//
+// With sources expanded to concrete ports (GRF -> {GRF_A, GRF_B}, BANK ->
+// {EVEN_BANK, ODD_BANK}):
+//
+//	MUL: 4 x 5 - 4(C1)          = 16, x2 DST halves = 32
+//	ADD: 5 x 5 - 4(C1) - 1(C2)  = 20, x2            = 40
+//	MAC: 4 x 5 - 4(C1) - 2(C3)  = 14, DST fixed     = 14
+//	MAD: 4 x 5 - 4(C1) - 2(C3)  = 14, x2            = 28
+//	MOV: 4 sources x 4 destinations - 4 bank-to-bank = 12, x2 (ReLU) = 24
+
+// Combo is one legal operand routing.
+type Combo struct {
+	Op              Opcode
+	Dst, Src0, Src1 Src
+	ReLU            bool
+}
+
+var allSrcs = []Src{GRFA, GRFB, EvenBank, OddBank, SRFM, SRFA}
+var grfDsts = []Src{GRFA, GRFB}
+
+// ComputeCombos enumerates every legal arithmetic operand routing by
+// running the Validate rules over the full cross product.
+func ComputeCombos() []Combo {
+	var out []Combo
+	for _, op := range []Opcode{MUL, ADD, MAC, MAD} {
+		for _, dst := range grfDsts {
+			if op == MAC && dst != GRFB {
+				// Table II fixes the MAC destination to GRF_B: the
+				// accumulator lives on the odd-bank side of the datapath.
+				continue
+			}
+			for _, s0 := range allSrcs {
+				for _, s1 := range allSrcs {
+					in := Instruction{Op: op, Dst: dst, Src0: s0, Src1: s1}
+					if in.Validate() == nil {
+						out = append(out, Combo{Op: op, Dst: dst, Src0: s0, Src1: s1})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MoveCombos enumerates the data-movement routings counted in Table II:
+// MOV between GRF halves and banks in either direction (bank-to-bank is
+// not routable), with and without the in-flight ReLU.
+func MoveCombos() []Combo {
+	vecPorts := []Src{GRFA, GRFB, EvenBank, OddBank}
+	var out []Combo
+	for _, s0 := range vecPorts {
+		for _, dst := range vecPorts {
+			for _, relu := range []bool{false, true} {
+				in := Instruction{Op: MOV, Dst: dst, Src0: s0, ReLU: relu}
+				if in.Validate() == nil {
+					out = append(out, Combo{Op: MOV, Dst: dst, Src0: s0, ReLU: relu})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ComboCounts returns per-opcode combination counts in Table II's order.
+func ComboCounts() map[Opcode]int {
+	counts := make(map[Opcode]int)
+	for _, c := range ComputeCombos() {
+		counts[c.Op]++
+	}
+	counts[MOV] = len(MoveCombos())
+	return counts
+}

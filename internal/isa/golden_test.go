@@ -1,0 +1,54 @@
+package isa
+
+import "testing"
+
+// TestGoldenEncodings pins the concrete Table III bit assignment: the
+// encoding is an ABI between the runtime (which writes CRF images through
+// the register space) and the execution units. Any layout change must be
+// deliberate and show up here.
+func TestGoldenEncodings(t *testing.T) {
+	golden := []struct {
+		asm  string
+		word uint32
+	}{
+		{"NOP", 0x00000000},
+		{"NOP 7", 0x00070000},
+		{"JUMP -1, 7", 0x10070001},
+		{"JUMP -4, 127", 0x107f0004},
+		{"EXIT", 0x20000000},
+		{"MOV GRF_A[0], EVEN_BANK", 0x40800000},
+		{"MOV(AAM) GRF_A, EVEN_BANK", 0x40808000},
+		{"MOV(RELU) GRF_B[1], GRF_A[2]", 0x42001120},
+		{"MOV(AAM_RELU) GRF_A, ODD_BANK", 0x40c09000},
+		{"MOV(AAM) ODD_BANK, GRF_A", 0x46008000},
+		{"FILL SRF_M[2], ODD_BANK", 0x58c00200},
+		{"FILL GRF_B[7], EVEN_BANK", 0x52800700},
+		{"ADD GRF_A[1], EVEN_BANK, SRF_A[1]", 0x80a80101},
+		{"ADD(AAM) GRF_A, GRF_A, GRF_B", 0x80088000},
+		{"MUL GRF_B[0], GRF_A[0], SRF_M[3]", 0x92210003},
+		{"MAC GRF_B[0], GRF_A[0], EVEN_BANK", 0xa2110000},
+		{"MAC(AAM) GRF_B, GRF_A, EVEN_BANK", 0xa2118000},
+		{"MAD GRF_A[2], ODD_BANK, SRF_M[2]", 0xb0e50202},
+		{"MAD(AAM) GRF_B, EVEN_BANK, SRF_M", 0xb2a58000},
+	}
+	for _, c := range golden {
+		in, ok, err := Parse(c.asm)
+		if err != nil || !ok {
+			t.Fatalf("parse %q: %v", c.asm, err)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %q: %v", c.asm, err)
+		}
+		if w != c.word {
+			t.Errorf("%-38s encoded %#08x, golden %#08x", c.asm, w, c.word)
+		}
+		back, err := Decode(c.word)
+		if err != nil {
+			t.Fatalf("decode %#08x: %v", c.word, err)
+		}
+		if back != in {
+			t.Errorf("%-38s decode mismatch: %s", c.asm, back)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/trace"
+)
+
+// Channel drives one pseudo channel: it owns the channel clock, issues
+// commands at their earliest legal cycles, manages refresh, and models
+// host memory fences. It is the layer PIM kernels talk to when they need
+// an ordered command stream.
+type Channel struct {
+	pch *hbm.PseudoChannel
+	cfg hbm.Config
+
+	now         int64
+	nextRefresh int64
+	refreshDebt int // postponed refreshes (JEDEC allows up to 8)
+
+	// GuaranteeOrder models the processor-confirmed in-order PIM mode of
+	// Section VII-B: fences become free because the controller preserves
+	// command order on its own.
+	GuaranteeOrder bool
+
+	// FenceCycles is the host-side cost of one memory fence: the host
+	// stalls until in-flight reads return (read latency + burst) plus the
+	// pipeline drain, before the next batch of requests reaches the
+	// controller.
+	FenceCycles int
+
+	openABRow   uint32 // currently open broadcast row (PIM bursts)
+	abRowOpen   bool
+	fences      int64
+	refreshes   int64
+	lastDataEnd int64 // completion cycle of the latest column data transfer
+
+	// Trace, when set, records every issued command (including the
+	// refresh machinery's own commands). ChannelID labels the events.
+	Trace     *trace.Recorder
+	ChannelID int
+}
+
+// RefreshPostponeLimit is how many tREFI intervals a refresh may be
+// deferred while a PIM burst is in flight (JESD235 allows 8).
+const RefreshPostponeLimit = 8
+
+// DefaultFenceCycles approximates a host fence on the evaluated system:
+// the thread group synchronizes, waits for outstanding DRAM responses and
+// refills the controller queue (~35 ns at 1 GHz).
+const DefaultFenceCycles = 35
+
+// NewChannel wraps a pseudo channel.
+func NewChannel(pch *hbm.PseudoChannel, cfg hbm.Config) *Channel {
+	return &Channel{
+		pch:         pch,
+		cfg:         cfg,
+		nextRefresh: int64(cfg.Timing.REFI),
+		FenceCycles: DefaultFenceCycles,
+	}
+}
+
+// Now returns the channel clock.
+func (c *Channel) Now() int64 { return c.now }
+
+// AdvanceTo moves the channel clock forward (host-side idle time).
+func (c *Channel) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Fences returns how many fences were executed.
+func (c *Channel) Fences() int64 { return c.fences }
+
+// Refreshes returns how many REF commands were issued.
+func (c *Channel) Refreshes() int64 { return c.refreshes }
+
+// PCH exposes the underlying pseudo channel.
+func (c *Channel) PCH() *hbm.PseudoChannel { return c.pch }
+
+// Issue sends one command at its earliest legal cycle at or after the
+// channel clock, advancing the clock to the issue cycle. Refresh deadlines
+// are honoured transparently, including mid-burst in PIM modes.
+func (c *Channel) Issue(cmd hbm.Command) (hbm.IssueResult, error) {
+	if err := c.maybeRefresh(); err != nil {
+		return hbm.IssueResult{}, err
+	}
+	res, err := c.issueRaw(cmd)
+	if err != nil {
+		return res, err
+	}
+	c.trackState(cmd)
+	return res, nil
+}
+
+// issueRaw issues without refresh checks.
+func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
+	at, err := c.pch.EarliestIssue(cmd, c.now)
+	if err != nil {
+		return hbm.IssueResult{}, err
+	}
+	res, err := c.pch.Issue(cmd, at)
+	if err != nil {
+		return hbm.IssueResult{}, err
+	}
+	if c.Trace != nil {
+		c.Trace.Record(trace.Event{
+			Cycle: at, Channel: c.ChannelID, Kind: cmd.Kind,
+			BG: cmd.BG, Bank: cmd.Bank, Row: cmd.Row, Col: cmd.Col,
+		})
+	}
+	// The command/address bus carries one command per cycle.
+	c.now = at + 1
+	if cmd.Kind.IsColumn() {
+		lat := c.cfg.Timing.WL
+		if cmd.Kind == hbm.CmdRD {
+			lat = c.cfg.Timing.RL
+		}
+		end := at + int64(lat+c.cfg.Timing.DataCycles())
+		if end > c.lastDataEnd {
+			c.lastDataEnd = end
+		}
+	}
+	return res, nil
+}
+
+// trackState remembers the open broadcast row so refresh can restore it.
+func (c *Channel) trackState(cmd hbm.Command) {
+	if c.pch.Mode() == hbm.ModeSB {
+		c.abRowOpen = false
+		return
+	}
+	switch cmd.Kind {
+	case hbm.CmdACT:
+		if cmd.Row < c.cfg.ModeRow() {
+			c.openABRow = cmd.Row
+			c.abRowOpen = true
+		}
+	case hbm.CmdPREA:
+		c.abRowOpen = false
+	}
+}
+
+// maybeRefresh issues due refreshes. In SB mode the caller's open rows are
+// the scheduler's responsibility, so refresh only fires when all banks are
+// idle and is otherwise postponed (up to the JEDEC limit). In AB/AB-PIM
+// modes the channel transparently closes the broadcast row, refreshes, and
+// reopens it.
+func (c *Channel) maybeRefresh() error {
+	strikes := 0
+	for c.now >= c.nextRefresh {
+		deficit := c.now - c.nextRefresh
+		force := c.refreshDebt >= RefreshPostponeLimit
+		// Snapshot an in-flight mode-row handshake before closing rows so
+		// it can be restored: refresh must be transparent to the runtime's
+		// command sequences.
+		hsBank := -1
+		if c.cfg.PIMUnits > 0 {
+			for _, b := range []int{hbm.ABMRBank, hbm.SBMRBank} {
+				if row, open := c.pch.OpenRow(0, b); open && row == c.cfg.ModeRow() {
+					hsBank = b
+				}
+			}
+		}
+		// Likewise snapshot every SB-mode open row: a forced refresh in the
+		// middle of a transaction must not yank the row out from under the
+		// scheduler.
+		type openBank struct {
+			bg, bank int
+			row      uint32
+		}
+		var reopen []openBank
+		if c.pch.Mode() == hbm.ModeSB && force {
+			for bg := 0; bg < c.cfg.BankGroups; bg++ {
+				for b := 0; b < c.cfg.BanksPerGroup; b++ {
+					if bg == 0 && b == hsBank {
+						continue
+					}
+					if row, open := c.pch.OpenRow(bg, b); open {
+						reopen = append(reopen, openBank{bg, b, row})
+					}
+				}
+			}
+		}
+		_, refErr := c.pch.EarliestIssue(hbm.Command{Kind: hbm.CmdREF}, c.now)
+		if refErr != nil { // banks open
+			if c.pch.Mode() == hbm.ModeSB && !force {
+				// Postpone rather than yank rows out from under the
+				// transaction scheduler.
+				c.refreshDebt++
+				c.nextRefresh += int64(c.cfg.Timing.REFI)
+				continue
+			}
+			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+				return fmt.Errorf("memctrl: refresh precharge: %w", err)
+			}
+		}
+		if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdREF}); err != nil {
+			return fmt.Errorf("memctrl: refresh: %w", err)
+		}
+		c.refreshes++
+		if c.refreshDebt > 0 {
+			c.refreshDebt--
+		}
+		if c.abRowOpen && c.pch.Mode() != hbm.ModeSB {
+			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, Row: c.openABRow}); err != nil {
+				return fmt.Errorf("memctrl: refresh reopen: %w", err)
+			}
+		}
+		if hsBank >= 0 {
+			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hsBank, Row: c.cfg.ModeRow()}); err != nil {
+				return fmt.Errorf("memctrl: refresh handshake reopen: %w", err)
+			}
+		}
+		for _, ob := range reopen {
+			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, BG: ob.bg, Bank: ob.bank, Row: ob.row}); err != nil {
+				return fmt.Errorf("memctrl: refresh row reopen: %w", err)
+			}
+		}
+		c.nextRefresh += int64(c.cfg.Timing.REFI)
+		// A tREFI smaller than the refresh round trip can never catch up;
+		// fail loudly instead of spinning forever.
+		if c.now-c.nextRefresh >= deficit {
+			if strikes++; strikes > 3 {
+				return fmt.Errorf("memctrl: refresh cannot keep up (tREFI %d too small)", c.cfg.Timing.REFI)
+			}
+		} else {
+			strikes = 0
+		}
+	}
+	return nil
+}
+
+// Fence models the ordering fence a PIM kernel executes after each AAM
+// window (Section IV-C / VII-B): the host waits for all outstanding data
+// and pays a fixed resynchronization cost. With GuaranteeOrder set the
+// controller preserves order itself and the fence is free.
+func (c *Channel) Fence() {
+	if c.GuaranteeOrder {
+		return
+	}
+	c.fences++
+	if c.lastDataEnd > c.now {
+		c.now = c.lastDataEnd
+	}
+	c.now += int64(c.FenceCycles)
+}

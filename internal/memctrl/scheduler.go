@@ -1,0 +1,276 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"pimsim/internal/hbm"
+)
+
+// Tx is one host memory transaction (a 32-byte read or write).
+type Tx struct {
+	Write bool
+	Loc   Loc
+	Data  []byte // write payload, or read result after completion
+
+	id       int64
+	enqueued int64 // cycle the transaction entered the queue
+	issued   int64 // column command issue cycle
+	done     int64 // data completion cycle
+}
+
+// Done returns the cycle the transaction's data finished transferring.
+func (t *Tx) Done() int64 { return t.done }
+
+// Scheduler is a First-Ready, First-Come-First-Served (FR-FCFS) command
+// scheduler for one channel, the policy of Rixner et al. that modern DRAM
+// controllers use (Section IV-C cites it as the reason PIM command order
+// cannot be assumed). Row-buffer hits are served before older misses
+// within a lookahead window.
+type Scheduler struct {
+	ch  *Channel
+	cfg hbm.Config
+
+	// Window is how many queued transactions the scheduler may inspect
+	// when picking the next one (the out-of-order depth). Window 1 is a
+	// strict in-order controller.
+	Window int
+
+	// AheadDepth is how many idle banks activateAhead may open per
+	// serviced transaction (0 disables the overlap; the ablation knob).
+	AheadDepth int
+
+	queue  []*Tx
+	nextID int64
+
+	// Posted-write state (see writebuffer.go).
+	writeBuf            bool
+	lowWater, highWater int
+	wqueue              []*Tx
+
+	// Stats.
+	RowHits   int64
+	RowMisses int64
+	RowOpens  int64
+	Reordered int64 // times a younger transaction bypassed an older one
+	Completed int64
+	Forwarded int64 // reads satisfied from the write buffer
+}
+
+// DefaultWindow matches a contemporary 32-entry per-channel queue.
+const DefaultWindow = 32
+
+// NewScheduler builds an FR-FCFS scheduler over a channel.
+func NewScheduler(ch *Channel, cfg hbm.Config) *Scheduler {
+	return &Scheduler{ch: ch, cfg: cfg, Window: DefaultWindow, AheadDepth: 2}
+}
+
+// Enqueue adds a transaction to the queue and returns it. With the write
+// buffer enabled, writes post immediately and drain later.
+func (s *Scheduler) Enqueue(write bool, loc Loc, data []byte) *Tx {
+	tx := &Tx{Write: write, Loc: loc, Data: data, id: s.nextID, enqueued: s.ch.Now()}
+	s.nextID++
+	if write && s.writeBuf {
+		s.enqueueWrite(tx)
+	} else {
+		s.queue = append(s.queue, tx)
+	}
+	return tx
+}
+
+// Pending returns the number of queued transactions.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Drain services the whole queue (including buffered writes) and returns
+// the cycle at which the last data transfer completes.
+func (s *Scheduler) Drain() (int64, error) {
+	var last int64
+	for len(s.queue) > 0 {
+		tx, err := s.step()
+		if err != nil {
+			return 0, err
+		}
+		if tx.done > last {
+			last = tx.done
+		}
+	}
+	if err := s.FlushWrites(); err != nil {
+		return 0, err
+	}
+	if now := s.ch.Now(); now > last {
+		last = now
+	}
+	return last, nil
+}
+
+// step picks and services one transaction.
+func (s *Scheduler) step() (*Tx, error) {
+	if len(s.queue) == 0 {
+		return nil, fmt.Errorf("memctrl: step on empty queue")
+	}
+	window := s.Window
+	if window < 1 {
+		window = 1
+	}
+	if window > len(s.queue) {
+		window = len(s.queue)
+	}
+
+	// First ready: the oldest row hit in the window; else the oldest.
+	pick := -1
+	for i := 0; i < window; i++ {
+		tx := s.queue[i]
+		if row, open := s.ch.PCH().OpenRow(tx.Loc.BG, tx.Loc.Bank); open && row == tx.Loc.Row {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	if pick > 0 {
+		s.Reordered++
+	}
+	tx := s.queue[pick]
+	s.queue = append(s.queue[:pick], s.queue[pick+1:]...)
+	// Store-to-load forwarding: a read covered by a buffered write never
+	// touches DRAM.
+	if !tx.Write {
+		if data, ok := s.forward(tx.Loc); ok {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			tx.Data = buf
+			tx.done = s.ch.Now()
+			s.Forwarded++
+			s.Completed++
+			return tx, nil
+		}
+	}
+	if err := s.service(tx); err != nil {
+		return nil, err
+	}
+	s.Completed++
+	// The read is on its way; if the write buffer is at capacity, drain it
+	// now (behind the read, never in front of it).
+	if err := s.maybeDrain(); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Idle lets the controller use a quiet period: it drains up to max
+// buffered writes while no reads are pending.
+func (s *Scheduler) Idle(max int) error {
+	if !s.writeBuf || len(s.queue) > 0 {
+		return nil
+	}
+	target := len(s.wqueue) - max
+	if target < 0 {
+		target = 0
+	}
+	return s.drainWrites(target)
+}
+
+// service opens the row if needed and issues the column command.
+func (s *Scheduler) service(tx *Tx) error {
+	l := tx.Loc
+	row, open := s.ch.PCH().OpenRow(l.BG, l.Bank)
+	switch {
+	case open && row == l.Row:
+		s.RowHits++
+	case open:
+		s.RowMisses++
+		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: l.BG, Bank: l.Bank}); err != nil {
+			return err
+		}
+		fallthrough
+	default:
+		if !open {
+			s.RowOpens++
+		}
+		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdACT, BG: l.BG, Bank: l.Bank, Row: l.Row}); err != nil {
+			return err
+		}
+	}
+
+	// Activate-ahead: open rows for queued transactions on other idle
+	// banks so their tRCD overlaps this transaction's data transfer.
+	s.activateAhead(l)
+
+	kind := hbm.CmdRD
+	if tx.Write {
+		kind = hbm.CmdWR
+	}
+	res, err := s.ch.Issue(hbm.Command{Kind: kind, BG: l.BG, Bank: l.Bank, Col: l.Col, Data: tx.Data})
+	if err != nil {
+		return err
+	}
+	tx.issued = res.Cycle
+	lat := s.cfg.Timing.WL
+	if !tx.Write {
+		lat = s.cfg.Timing.RL
+		tx.Data = res.Data
+	}
+	tx.done = res.Cycle + int64(lat+s.cfg.Timing.DataCycles())
+	return nil
+}
+
+// activateAhead opens rows for upcoming transactions on other banks so
+// their tRCD (and tRP, for conflicts) overlaps the current data transfer.
+// For each bank, only its oldest queued transaction is considered, and an
+// open row is closed early only when no queued transaction in the window
+// still wants it — so no row hit FR-FCFS would have served is sacrificed.
+func (s *Scheduler) activateAhead(cur Loc) {
+	window := s.Window
+	if window > len(s.queue) {
+		window = len(s.queue)
+	}
+	type bankKey struct{ bg, bank int }
+	seen := map[bankKey]bool{{cur.BG, cur.Bank}: true}
+	opened := 0
+	for i := 0; i < window && opened < s.AheadDepth; i++ {
+		l := s.queue[i].Loc
+		key := bankKey{l.BG, l.Bank}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		row, open := s.ch.PCH().OpenRow(l.BG, l.Bank)
+		if open && row == l.Row {
+			continue // already a hit
+		}
+		if open {
+			// Conflict: close early only if nobody in the window still
+			// wants the open row.
+			wanted := false
+			for j := 0; j < window; j++ {
+				q := s.queue[j].Loc
+				if q.BG == l.BG && q.Bank == l.Bank && q.Row == row {
+					wanted = true
+					break
+				}
+			}
+			if wanted {
+				continue
+			}
+			if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: l.BG, Bank: l.Bank}); err != nil {
+				return
+			}
+			s.RowMisses++
+		} else {
+			s.RowOpens++
+		}
+		// Best effort: tRRD/tFAW pressure just means the ACT lands a bit
+		// later; stop looking ahead on any failure.
+		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdACT, BG: l.BG, Bank: l.Bank, Row: l.Row}); err != nil {
+			return
+		}
+		opened++
+	}
+}
+
+// CloseAll precharges every open bank (used before mode transitions and
+// forced refresh).
+func (s *Scheduler) CloseAll() error {
+	_, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPREA})
+	return err
+}

@@ -1,0 +1,88 @@
+package memctrl
+
+// Posted-write support. Real controllers complete writes into a write
+// buffer immediately and drain them in batches, keeping the data bus in
+// read mode (reads are latency critical, writes are not) and amortizing
+// the RD<->WR turnaround penalties. Reads that hit a buffered write are
+// forwarded from the buffer (store-to-load forwarding), so the reordering
+// is invisible to the host.
+
+// EnableWriteBuffer turns on posted writes with the given watermarks:
+// writes accumulate until high pending writes force a drain down to low.
+// It must be called while the queues are empty.
+func (s *Scheduler) EnableWriteBuffer(low, high int) {
+	if low < 0 {
+		low = 0
+	}
+	if high <= low {
+		high = low + 1
+	}
+	s.writeBuf = true
+	s.lowWater, s.highWater = low, high
+}
+
+// enqueueWrite posts a write: it completes immediately from the host's
+// perspective at the current cycle.
+func (s *Scheduler) enqueueWrite(tx *Tx) {
+	tx.done = s.ch.Now()
+	s.wqueue = append(s.wqueue, tx)
+}
+
+// forward satisfies a read from the youngest buffered write to the same
+// location, if any.
+func (s *Scheduler) forward(loc Loc) ([]byte, bool) {
+	for i := len(s.wqueue) - 1; i >= 0; i-- {
+		if s.wqueue[i].Loc == loc {
+			return s.wqueue[i].Data, true
+		}
+	}
+	return nil, false
+}
+
+// drainWrites services buffered writes (oldest first, which FR-FCFS
+// row-hit picking then reorders) until at most `until` remain.
+func (s *Scheduler) drainWrites(until int) error {
+	for len(s.wqueue) > until {
+		// Row-hit first among the window, like the read path.
+		window := s.Window
+		if window > len(s.wqueue) {
+			window = len(s.wqueue)
+		}
+		pick := 0
+		for i := 0; i < window; i++ {
+			l := s.wqueue[i].Loc
+			if row, open := s.ch.PCH().OpenRow(l.BG, l.Bank); open && row == l.Row {
+				pick = i
+				break
+			}
+		}
+		tx := s.wqueue[pick]
+		s.wqueue = append(s.wqueue[:pick], s.wqueue[pick+1:]...)
+		if err := s.service(tx); err != nil {
+			return err
+		}
+		s.Completed++
+	}
+	return nil
+}
+
+// maybeDrain enforces the high watermark.
+func (s *Scheduler) maybeDrain() error {
+	if !s.writeBuf || len(s.wqueue) < s.highWater {
+		return nil
+	}
+	return s.drainWrites(s.lowWater)
+}
+
+// FlushWrites drains every buffered write (used at barriers and before
+// mode transitions; PIM regions are uncacheable AND must be write-drained
+// before a kernel reads them).
+func (s *Scheduler) FlushWrites() error {
+	if !s.writeBuf {
+		return nil
+	}
+	return s.drainWrites(0)
+}
+
+// PendingWrites returns the buffered write count.
+func (s *Scheduler) PendingWrites() int { return len(s.wqueue) }

@@ -1,0 +1,128 @@
+package pim
+
+import (
+	"fmt"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+)
+
+// Executor holds the PIM execution units of one pseudo channel and drives
+// them in lock step. It implements hbm.PIMExecutor.
+type Executor struct {
+	units        []*Unit
+	banksPerUnit int
+}
+
+// NewExecutor builds the execution layer for a PIM device configuration.
+func NewExecutor(cfg hbm.Config) (*Executor, error) {
+	if cfg.PIMUnits <= 0 {
+		return nil, fmt.Errorf("pim: configuration has no PIM units")
+	}
+	if cfg.Banks()%cfg.PIMUnits != 0 {
+		return nil, fmt.Errorf("pim: %d units do not divide %d banks", cfg.PIMUnits, cfg.Banks())
+	}
+	grfEntries := isa.GRFEntries
+	if cfg.Variant == hbm.Variant2X {
+		grfEntries = 2 * isa.GRFEntries
+	}
+	e := &Executor{
+		units:        make([]*Unit, cfg.PIMUnits),
+		banksPerUnit: cfg.Banks() / cfg.PIMUnits,
+	}
+	for i := range e.units {
+		e.units[i] = newUnit(grfEntries)
+	}
+	return e, nil
+}
+
+// Attach builds an executor and connects it to every pseudo channel of the
+// device, returning one executor per channel.
+func Attach(dev *hbm.Device) ([]*Executor, error) {
+	execs := make([]*Executor, dev.NumPCH())
+	for i := range execs {
+		e, err := NewExecutor(dev.Config())
+		if err != nil {
+			return nil, err
+		}
+		dev.PCH(i).AttachPIM(e)
+		execs[i] = e
+	}
+	return execs, nil
+}
+
+// Unit returns execution unit i (for result readout and tests).
+func (e *Executor) Unit(i int) *Unit { return e.units[i] }
+
+// NumUnits returns the number of units.
+func (e *Executor) NumUnits() int { return len(e.units) }
+
+// RegisterWrite implements hbm.PIMExecutor.
+func (e *Executor) RegisterWrite(unit int, space hbm.RegSpace, col uint32, data []byte) error {
+	if unit < 0 || unit >= len(e.units) {
+		return fmt.Errorf("pim: unit %d out of range", unit)
+	}
+	return e.units[unit].writeRegSpace(space, col, data)
+}
+
+// RegisterRead implements hbm.PIMExecutor.
+func (e *Executor) RegisterRead(unit int, space hbm.RegSpace, col uint32, buf []byte) error {
+	if unit < 0 || unit >= len(e.units) {
+		return fmt.Errorf("pim: unit %d out of range", unit)
+	}
+	return e.units[unit].readRegSpace(space, col, buf)
+}
+
+// Trigger implements hbm.PIMExecutor: one column command advances every
+// unit by one command slot.
+func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
+	var info hbm.TriggerInfo
+	for i, u := range e.units {
+		sc := &stepContext{
+			kind:       ctx.Kind,
+			bankSel:    ctx.BankSel,
+			row:        ctx.Row,
+			col:        ctx.Col,
+			wrData:     ctx.WrData,
+			access:     ctx.Access,
+			variant:    ctx.Variant,
+			functional: ctx.Functional,
+			evenBank:   i * e.banksPerUnit,
+			oddBank:    i*e.banksPerUnit + e.banksPerUnit - 1,
+		}
+		c, err := u.step(sc)
+		info.Instructions += c.instrs
+		info.Arithmetic += c.arith
+		info.DataMoves += c.moves
+		if err != nil {
+			return info, fmt.Errorf("pim: unit %d: %w", i, err)
+		}
+	}
+	return info, nil
+}
+
+// ResetPPC implements hbm.PIMExecutor.
+func (e *Executor) ResetPPC() {
+	for _, u := range e.units {
+		u.resetPPC()
+	}
+}
+
+// Program decodes the current CRF contents of one unit up to its EXIT —
+// introspection for debuggers and the pimsim tool.
+func (e *Executor) Program(unit int) ([]isa.Instruction, error) {
+	if unit < 0 || unit >= len(e.units) {
+		return nil, fmt.Errorf("pim: unit %d out of range", unit)
+	}
+	return isa.DecodeProgram(e.units[unit].crf[:])
+}
+
+// AllDone reports whether every unit has retired EXIT.
+func (e *Executor) AllDone() bool {
+	for _, u := range e.units {
+		if !u.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,403 @@
+// Package runtime is the user-level PIM runtime of Section V-A: the
+// executor that turns PIM microkernels into ordered DRAM command streams
+// (mode transitions, CRF/SRF programming, triggers, fences), the memory
+// manager that lays operands out across banks in a PIM-friendly way, and
+// the preprocessor that decides which operations are worth offloading.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"pimsim/internal/driver"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+	"pimsim/internal/memctrl"
+	"pimsim/internal/pim"
+)
+
+// Runtime drives the PIM execution units of a whole memory system. Each
+// pseudo channel is owned by one host thread group (Fig. 8), so channels
+// progress independently; a kernel's latency is the slowest channel's.
+type Runtime struct {
+	Cfg   hbm.Config
+	Chans []*memctrl.Channel
+	Execs []*pim.Executor
+	Drv   *driver.Driver
+
+	// SimChannels, when positive and the device is timing-only, limits
+	// kernel command-stream generation to the first n channels. Channel 0
+	// always carries the maximum per-channel load (blocks are dealt round
+	// robin starting there), so its cycle count is the kernel latency;
+	// simulating the remaining symmetric channels would only repeat it.
+	SimChannels int
+
+	// ParallelKernels lets BLAS kernels drive each channel's command
+	// stream from its own goroutine. Channels are fully independent (own
+	// clock, banks, execution units), so results and cycle counts are
+	// identical to the sequential order; only host wall-clock changes.
+	ParallelKernels bool
+}
+
+// ForEachChannel runs fn(ch) for the kernel's effective channels, in
+// parallel when ParallelKernels is set. The first error wins.
+func (r *Runtime) ForEachChannel(fn func(ch int) error) error {
+	n := r.EffectiveChannels()
+	if !r.ParallelKernels || n == 1 {
+		for ch := 0; ch < n; ch++ {
+			if err := fn(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for ch := 0; ch < n; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			errs[ch] = fn(ch)
+		}(ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EffectiveChannels returns how many channels kernels should drive.
+// Functional runs always drive every channel (results live everywhere).
+func (r *Runtime) EffectiveChannels() int {
+	if r.Cfg.Functional || r.SimChannels <= 0 || r.SimChannels > len(r.Chans) {
+		return len(r.Chans)
+	}
+	return r.SimChannels
+}
+
+// New builds a runtime over a set of devices (4 PIM-HBM stacks in the
+// paper's system). All devices must share one configuration.
+func New(devs []*hbm.Device) (*Runtime, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("runtime: no devices")
+	}
+	cfg := devs[0].Config()
+	r := &Runtime{Cfg: cfg}
+	for _, dev := range devs {
+		if dev.Config() != cfg {
+			return nil, fmt.Errorf("runtime: heterogeneous device configurations")
+		}
+		execs, err := pim.Attach(dev)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < dev.NumPCH(); i++ {
+			r.Chans = append(r.Chans, memctrl.NewChannel(dev.PCH(i), cfg))
+			r.Execs = append(r.Execs, execs[i])
+		}
+	}
+	drv, err := driver.New(cfg, len(r.Chans))
+	if err != nil {
+		return nil, err
+	}
+	r.Drv = drv
+	return r, nil
+}
+
+// NumChannels returns the number of pseudo channels.
+func (r *Runtime) NumChannels() int { return len(r.Chans) }
+
+// issue sends one command on a channel.
+func (r *Runtime) issue(ch int, cmd hbm.Command) (hbm.IssueResult, error) {
+	res, err := r.Chans[ch].Issue(cmd)
+	if err != nil {
+		return res, fmt.Errorf("runtime: ch%d %s: %w", ch, cmd, err)
+	}
+	return res, nil
+}
+
+// EnterAB performs the ABMR handshake on a channel.
+func (r *Runtime) EnterAB(ch int) error {
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hbm.ABMRBank, Row: r.Cfg.ModeRow()}); err != nil {
+		return err
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank})
+	return err
+}
+
+// ExitToSB performs the SBMR handshake (all banks must be precharged).
+func (r *Runtime) ExitToSB(ch int) error {
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hbm.SBMRBank, Row: r.Cfg.ModeRow()}); err != nil {
+		return err
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.SBMRBank})
+	return err
+}
+
+// SetPIMMode writes PIM_OP_MODE through the mode row.
+func (r *Runtime) SetPIMMode(ch int, on bool) error {
+	data := make([]byte, r.Cfg.AccessBytes)
+	if on {
+		data[0] = 1
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hbm.ABMRBank, Row: r.Cfg.ModeRow()}); err != nil {
+		return err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, BG: 0, Bank: hbm.ABMRBank, Col: hbm.ColPIMOpMode, Data: data}); err != nil {
+		return err
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank})
+	return err
+}
+
+// ProgramCRF broadcasts a microkernel into every unit of a channel. The
+// channel must be in AB mode with all banks precharged.
+func (r *Runtime) ProgramCRF(ch int, prog []isa.Instruction) error {
+	words, err := isa.EncodeProgram(prog)
+	if err != nil {
+		return err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, Row: r.Cfg.CRFRow()}); err != nil {
+		return err
+	}
+	for col := 0; col*8 < len(words); col++ {
+		buf := make([]byte, r.Cfg.AccessBytes)
+		for i := 0; i < 8 && col*8+i < len(words); i++ {
+			w := words[col*8+i]
+			buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+		}
+		if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Col: uint32(col), Data: buf}); err != nil {
+			return err
+		}
+	}
+	_, err = r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
+	return err
+}
+
+// ProgramSRF broadcasts the scalar registers: m fills SRF_M[0..7], a fills
+// SRF_A[0..7]. AB mode, banks precharged.
+func (r *Runtime) ProgramSRF(ch int, m, a []fp16.F16) error {
+	v := fp16.NewVector(2 * isa.SRFEntries)
+	copy(v[:isa.SRFEntries], m)
+	copy(v[isa.SRFEntries:], a)
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, Row: r.Cfg.SRFRow()}); err != nil {
+		return err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Col: 0, Data: v.Bytes()}); err != nil {
+		return err
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
+	return err
+}
+
+// ZeroGRF broadcasts zeros into GRF_B[0..7] of every unit (accumulator
+// reset between macro passes). AB mode, banks precharged.
+func (r *Runtime) ZeroGRF(ch int) error {
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, Row: r.Cfg.GRFRow()}); err != nil {
+		return err
+	}
+	zero := make([]byte, r.Cfg.AccessBytes)
+	for i := 0; i < 2*isa.GRFEntries; i++ {
+		if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Col: uint32(i), Data: zero}); err != nil {
+			return err
+		}
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
+	return err
+}
+
+// OpenRow broadcast-activates a row on a channel (AB/AB-PIM modes).
+func (r *Runtime) OpenRow(ch int, row uint32) error {
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, Row: row})
+	return err
+}
+
+// CloseRows precharges all banks of a channel.
+func (r *Runtime) CloseRows(ch int) error {
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
+	return err
+}
+
+// TriggerRD issues a PIM-triggering column read. bankSel 0 drives the
+// even banks, 1 the odd banks.
+func (r *Runtime) TriggerRD(ch, bankSel int, col uint32) error {
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, Bank: bankSel, Col: col})
+	return err
+}
+
+// TriggerWR issues a PIM-triggering column write carrying data on the
+// write datapath.
+func (r *Runtime) TriggerWR(ch, bankSel int, col uint32, data []byte) error {
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Bank: bankSel, Col: col, Data: data})
+	return err
+}
+
+// Fence orders the preceding commands (one AAM window boundary).
+func (r *Runtime) Fence(ch int) { r.Chans[ch].Fence() }
+
+// WriteBankSB writes one 32-byte block to a specific bank in SB mode.
+func (r *Runtime) WriteBankSB(ch, flatBank int, row, col uint32, data []byte) error {
+	bg, b := flatBank/r.Cfg.BanksPerGroup, flatBank%r.Cfg.BanksPerGroup
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: row}); err != nil {
+		return err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, BG: bg, Bank: b, Col: col, Data: data}); err != nil {
+		return err
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b})
+	return err
+}
+
+// WriteBankRowSB writes up to a full row of one bank with a single
+// activate.
+func (r *Runtime) WriteBankRowSB(ch, flatBank int, row uint32, cols []uint32, data [][]byte) error {
+	if len(cols) != len(data) {
+		return fmt.Errorf("runtime: cols/data length mismatch")
+	}
+	bg, b := flatBank/r.Cfg.BanksPerGroup, flatBank%r.Cfg.BanksPerGroup
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: row}); err != nil {
+		return err
+	}
+	for i, col := range cols {
+		if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, BG: bg, Bank: b, Col: col, Data: data[i]}); err != nil {
+			return err
+		}
+	}
+	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b})
+	return err
+}
+
+// ReadBankRowSB reads several columns of one bank row with a single
+// activate, returning one 32-byte block per requested column.
+func (r *Runtime) ReadBankRowSB(ch, flatBank int, row uint32, cols []uint32) ([][]byte, error) {
+	bg, b := flatBank/r.Cfg.BanksPerGroup, flatBank%r.Cfg.BanksPerGroup
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: row}); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(cols))
+	for i, col := range cols {
+		res, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, BG: bg, Bank: b, Col: col})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Data
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBankSB reads one 32-byte block from a specific bank in SB mode.
+func (r *Runtime) ReadBankSB(ch, flatBank int, row, col uint32) ([]byte, error) {
+	bg, b := flatBank/r.Cfg.BanksPerGroup, flatBank%r.Cfg.BanksPerGroup
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: row}); err != nil {
+		return nil, err
+	}
+	res, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, BG: bg, Bank: b, Col: col})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+// ReadGRFSB reads one GRF register of one unit through the SB register
+// space (half 0 = GRF_A, 1 = GRF_B). The register column index is
+// half*GRFEntries + idx.
+func (r *Runtime) ReadGRFSB(ch, unit, half, idx int) (fp16.Vector, error) {
+	banksPerUnit := r.Cfg.Banks() / r.Cfg.PIMUnits
+	flat := unit * banksPerUnit
+	bg, b := flat/r.Cfg.BanksPerGroup, flat%r.Cfg.BanksPerGroup
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: r.Cfg.GRFRow()}); err != nil {
+		return nil, err
+	}
+	grfEntries := isa.GRFEntries
+	if r.Cfg.Variant == hbm.Variant2X {
+		grfEntries = 2 * isa.GRFEntries
+	}
+	col := uint32(half*grfEntries + idx)
+	res, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, BG: bg, Bank: b, Col: col})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
+		return nil, err
+	}
+	if res.Data == nil {
+		return fp16.NewVector(fp16.Lanes), nil
+	}
+	return fp16.VectorFromBytes(res.Data), nil
+}
+
+// ReadGRFRowSB reads several GRF registers of consecutive units with one
+// row activation per unit, returning vectors indexed [unit][reg].
+func (r *Runtime) ReadGRFRowSB(ch, half int, regs int) ([][]fp16.Vector, error) {
+	units := r.Cfg.PIMUnits
+	out := make([][]fp16.Vector, units)
+	banksPerUnit := r.Cfg.Banks() / units
+	grfEntries := isa.GRFEntries
+	if r.Cfg.Variant == hbm.Variant2X {
+		grfEntries = 2 * isa.GRFEntries
+	}
+	for u := 0; u < units; u++ {
+		flat := u * banksPerUnit
+		bg, b := flat/r.Cfg.BanksPerGroup, flat%r.Cfg.BanksPerGroup
+		if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: r.Cfg.GRFRow()}); err != nil {
+			return nil, err
+		}
+		out[u] = make([]fp16.Vector, regs)
+		for i := 0; i < regs; i++ {
+			res, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, BG: bg, Bank: b, Col: uint32(half*grfEntries + i)})
+			if err != nil {
+				return nil, err
+			}
+			if res.Data == nil {
+				out[u][i] = fp16.NewVector(fp16.Lanes)
+			} else {
+				out[u][i] = fp16.VectorFromBytes(res.Data)
+			}
+		}
+		if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Now returns a channel's clock.
+func (r *Runtime) Now(ch int) int64 { return r.Chans[ch].Now() }
+
+// MaxNow returns the latest clock across channels (kernel completion).
+func (r *Runtime) MaxNow() int64 {
+	var m int64
+	for _, c := range r.Chans {
+		if c.Now() > m {
+			m = c.Now()
+		}
+	}
+	return m
+}
+
+// SyncChannels advances every channel to the global maximum (a host-side
+// join across thread groups).
+func (r *Runtime) SyncChannels() {
+	m := r.MaxNow()
+	for _, c := range r.Chans {
+		c.AdvanceTo(m)
+	}
+}
+
+// SetGuaranteeOrder toggles the in-order PIM mode study (Section VII-B)
+// on every channel.
+func (r *Runtime) SetGuaranteeOrder(on bool) {
+	for _, c := range r.Chans {
+		c.GuaranteeOrder = on
+	}
+}

@@ -1,0 +1,377 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
+)
+
+func newRT(t *testing.T, channels int) *Runtime {
+	t.Helper()
+	cfg := hbm.PIMHBMConfig(1000)
+	cfg.PseudoChannels = channels
+	dev, err := hbm.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestModeSequences(t *testing.T) {
+	rt := newRT(t, 2)
+	pch := rt.Chans[0].PCH()
+	if pch.Mode() != hbm.ModeSB {
+		t.Fatal("not in SB initially")
+	}
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	if pch.Mode() != hbm.ModeAB {
+		t.Fatalf("mode %s after EnterAB", pch.Mode())
+	}
+	if err := rt.SetPIMMode(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if pch.Mode() != hbm.ModeABPIM {
+		t.Fatalf("mode %s after SetPIMMode", pch.Mode())
+	}
+	if err := rt.SetPIMMode(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ExitToSB(0); err != nil {
+		t.Fatal(err)
+	}
+	if pch.Mode() != hbm.ModeSB {
+		t.Fatalf("mode %s after ExitToSB", pch.Mode())
+	}
+	// The other channel is untouched.
+	if rt.Chans[1].PCH().Mode() != hbm.ModeSB {
+		t.Error("channel 1 mode leaked")
+	}
+}
+
+func TestProgramCRFRoundTrip(t *testing.T) {
+	rt := newRT(t, 1)
+	prog, err := isa.Assemble(`
+		MOV(AAM) GRF_A, EVEN_BANK
+		JUMP -1, 7
+		EXIT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ProgramCRF(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	// Read back through the executor's register space.
+	buf := make([]byte, 32)
+	if err := rt.Execs[0].RegisterRead(3, hbm.RegCRF, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint32, 3)
+	for i := range words {
+		words[i] = uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 | uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+	}
+	back, err := isa.DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].Op != isa.MOV || back[2].Op != isa.EXIT {
+		t.Fatalf("read back %v", back)
+	}
+}
+
+func TestProgramSRFAndZeroGRF(t *testing.T) {
+	rt := newRT(t, 1)
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	m := make([]fp16.F16, isa.SRFEntries)
+	a := make([]fp16.F16, isa.SRFEntries)
+	for i := range m {
+		m[i] = fp16.FromFloat32(float32(i + 1))
+		a[i] = fp16.FromFloat32(float32(-i))
+	}
+	if err := rt.ProgramSRF(0, m, a); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < rt.Cfg.PIMUnits; u++ {
+		unit := rt.Execs[0].Unit(u)
+		for i := range m {
+			if unit.SRF(0, i) != m[i] || unit.SRF(1, i) != a[i] {
+				t.Fatalf("unit %d SRF[%d] = %v/%v", u, i, unit.SRF(0, i), unit.SRF(1, i))
+			}
+		}
+	}
+	if err := rt.ZeroGRF(0); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < rt.Cfg.PIMUnits; u++ {
+		for r := 0; r < isa.GRFEntries; r++ {
+			v := rt.Execs[0].Unit(u).GRF(1, r)
+			for l := range v {
+				if v[l] != fp16.Zero {
+					t.Fatalf("unit %d GRF_B[%d][%d] = %v after ZeroGRF", u, r, l, v[l])
+				}
+			}
+		}
+	}
+}
+
+func TestBankWriteReadHelpers(t *testing.T) {
+	rt := newRT(t, 1)
+	data := fp16.FromFloat32s([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}).Bytes()
+	if err := rt.WriteBankSB(0, 5, 40, 7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.ReadBankSB(0, 5, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %x != %x", i, got[i], data[i])
+		}
+	}
+	// Row-granular variants.
+	cols := []uint32{1, 2, 3}
+	blocks := [][]byte{data, data, data}
+	if err := rt.WriteBankRowSB(0, 6, 41, cols, blocks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rt.ReadBankRowSB(0, 6, 41, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		for j := range data {
+			if back[i][j] != data[j] {
+				t.Fatalf("col %d byte %d mismatch", cols[i], j)
+			}
+		}
+	}
+	if err := rt.WriteBankRowSB(0, 6, 41, cols, blocks[:2]); err == nil {
+		t.Error("mismatched cols/data accepted")
+	}
+}
+
+func TestGRFReadback(t *testing.T) {
+	rt := newRT(t, 1)
+	// Write GRF via the broadcast register space, read back per unit.
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	v := fp16.FromFloat32s([]float32{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, -1, -2, -3, -4, -5, -6})
+	// GRF_B[2] is column 8+2 of the GRF row.
+	ch := rt.Chans[0]
+	if _, err := ch.Issue(hbm.Command{Kind: hbm.CmdACT, Row: rt.Cfg.GRFRow()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Issue(hbm.Command{Kind: hbm.CmdWR, Col: 10, Data: v.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Issue(hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ExitToSB(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.ReadGRFSB(0, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range v {
+		if got[l] != v[l] {
+			t.Fatalf("lane %d: %v != %v", l, got[l], v[l])
+		}
+	}
+	all, err := rt.ReadGRFRowSB(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != rt.Cfg.PIMUnits || len(all[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(all), len(all[0]))
+	}
+	if all[5][2][0] != v[0] {
+		t.Errorf("unit 5 GRF_B[2][0] = %v", all[5][2][0])
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty device list accepted")
+	}
+	a := hbm.MustNewDevice(hbm.PIMHBMConfig(1000))
+	b := hbm.MustNewDevice(hbm.PIMHBMConfig(1200))
+	if _, err := New([]*hbm.Device{a, b}); err == nil {
+		t.Error("heterogeneous devices accepted")
+	}
+}
+
+func TestEffectiveChannels(t *testing.T) {
+	rt := newRT(t, 4)
+	if rt.EffectiveChannels() != 4 {
+		t.Error("functional runtime must drive all channels")
+	}
+	cfg := hbm.PIMHBMConfig(1000)
+	cfg.PseudoChannels = 4
+	cfg.Functional = false
+	dev := hbm.MustNewDevice(cfg)
+	rt2, err := New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.SimChannels = 1
+	if rt2.EffectiveChannels() != 1 {
+		t.Error("SimChannels ignored")
+	}
+	rt2.SimChannels = 99
+	if rt2.EffectiveChannels() != 4 {
+		t.Error("oversized SimChannels not clamped")
+	}
+}
+
+func TestSyncChannels(t *testing.T) {
+	rt := newRT(t, 2)
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Now(0) <= rt.Now(1) {
+		t.Fatal("channel 0 did not advance")
+	}
+	rt.SyncChannels()
+	if rt.Now(0) != rt.Now(1) || rt.MaxNow() != rt.Now(0) {
+		t.Error("SyncChannels did not align clocks")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	rt := newRT(t, 1)
+	// SetPIMMode in SB mode is an illegal register write: the error must
+	// carry channel and command context.
+	if err := rt.SetPIMMode(0, true); err == nil {
+		t.Error("PIM_OP_MODE accepted in SB mode")
+	}
+	// CloseRows with nothing open is fine (PREA is idempotent)...
+	if err := rt.CloseRows(0); err != nil {
+		t.Errorf("PREA on idle banks: %v", err)
+	}
+	// ...but a trigger outside AB-PIM hits an idle-bank error.
+	if err := rt.TriggerRD(0, 0, 0); err == nil {
+		t.Error("trigger accepted in SB mode with idle banks")
+	}
+	// Oversized CRF program.
+	long := make([]isa.Instruction, isa.CRFEntries+1)
+	for i := range long {
+		long[i] = isa.Nop()
+	}
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ProgramCRF(0, long); err == nil {
+		t.Error("oversized program accepted")
+	}
+	// Invalid instruction in a program.
+	bad := []isa.Instruction{{Op: isa.MUL, Dst: isa.EvenBank, Src0: isa.GRFA, Src1: isa.GRFB}}
+	if err := rt.ProgramCRF(0, bad); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+}
+
+func TestForEachChannelParallelAndErrors(t *testing.T) {
+	rt := newRT(t, 4)
+	rt.Cfg.Functional = false // allow SimChannels semantics; views share Cfg copy
+	rt.ParallelKernels = true
+
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := rt.ForEachChannel(func(ch int) error {
+		mu.Lock()
+		seen[ch] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("visited %d channels", len(seen))
+	}
+
+	wantErr := errors.New("boom")
+	err = rt.ForEachChannel(func(ch int) error {
+		if ch == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("got %v", err)
+	}
+
+	// Sequential path stops at the first error.
+	rt.ParallelKernels = false
+	calls := 0
+	err = rt.ForEachChannel(func(ch int) error {
+		calls++
+		if ch == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) || calls != 2 {
+		t.Errorf("sequential: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestSetGuaranteeOrder(t *testing.T) {
+	rt := newRT(t, 2)
+	rt.SetGuaranteeOrder(true)
+	for i, ch := range rt.Chans {
+		if !ch.GuaranteeOrder {
+			t.Errorf("channel %d not order-guaranteed", i)
+		}
+	}
+	rt.SetGuaranteeOrder(false)
+	if rt.Chans[0].GuaranteeOrder {
+		t.Error("order guarantee not cleared")
+	}
+}
+
+func TestProgramSRFOverlong(t *testing.T) {
+	rt := newRT(t, 1)
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	// Extra scalars beyond the SRF depth are simply not copied; 8 each is
+	// the contract and shorter slices zero-fill.
+	m := make([]fp16.F16, 3)
+	m[0] = fp16.One
+	if err := rt.ProgramSRF(0, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Execs[0].Unit(0).SRF(0, 0) != fp16.One {
+		t.Error("partial SRF program lost data")
+	}
+	if rt.Execs[0].Unit(0).SRF(1, 7) != fp16.Zero {
+		t.Error("unwritten SRF_A not zero")
+	}
+}
+
+func TestReadGRFSBBadColumn(t *testing.T) {
+	rt := newRT(t, 1)
+	if _, err := rt.ReadGRFSB(0, 0, 2, 0); err == nil {
+		t.Error("GRF half 2 accepted")
+	}
+}

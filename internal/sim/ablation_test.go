@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"pimsim/internal/host"
+)
+
+func TestAblateFenceCostMonotone(t *testing.T) {
+	pts, err := AblateFenceCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Errorf("GEMV time not monotone in fence cost: %v then %v", pts[i-1], pts[i])
+		}
+	}
+	// The default fence (35 cycles) costs a substantial fraction of the
+	// kernel: free fences must be at least 30% faster.
+	if ratio := pts[3].Value / pts[0].Value; ratio < 1.3 {
+		t.Errorf("fence=35 only %.2fx of fence=0; expected a visible ordering tax", ratio)
+	}
+}
+
+func TestAblateRefreshRateMonotone(t *testing.T) {
+	pts, err := AblateRefreshRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Errorf("GEMV time not monotone in refresh rate: %v then %v", pts[i-1], pts[i])
+		}
+	}
+	// Nominal refresh should cost only a few percent over tREFI/1... the
+	// first point is nominal; the 8x point visibly more.
+	if pts[len(pts)-1].Value < 1.5*pts[0].Value {
+		t.Errorf("8x refresh rate added only %v -> %v", pts[0].Value, pts[len(pts)-1].Value)
+	}
+}
+
+func TestAblateAddressMapping(t *testing.T) {
+	pts, err := AblateAddressMapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	shipped, naive := pts[0].Value, pts[1].Value
+	// Bank-group bits under the column bits keep streams at tCCD_S; the
+	// naive order halves the cadence (tCCD_L = 2 x tCCD_S).
+	if shipped < 1.5*naive {
+		t.Errorf("shipped mapping %.2f GB/s vs naive %.2f: expected ~2x", shipped, naive)
+	}
+}
+
+func TestAblateActivateAhead(t *testing.T) {
+	pts, err := AblateActivateAhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	off, on := pts[0].Value, pts[1].Value
+	if on < 1.2*off {
+		t.Errorf("activate-ahead buys only %.2f -> %.2f GB/s on random traffic", off, on)
+	}
+}
+
+func TestRunAblationsCollects(t *testing.T) {
+	all, err := RunAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fence-cost", "refresh-rate", "address-mapping", "activate-ahead", "write-buffer"} {
+		if len(all[name]) == 0 {
+			t.Errorf("missing ablation %q", name)
+		}
+	}
+}
+
+func TestClockCorners(t *testing.T) {
+	cs, err := RunClockCorners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("%d corners", len(cs))
+	}
+	lo, hi := cs[0], cs[1]
+	// Table IV/V anchors at the two corners.
+	between(t, "on-chip TB/s @1.0GHz", lo.OnChipTBps, 4.0, 4.2) // 4 x 1.024
+	between(t, "on-chip TB/s @1.2GHz", hi.OnChipTBps, 4.8, 5.0) // 4.915
+	between(t, "unit GFLOPS @1.2GHz", hi.UnitGFLOPS, 9.5, 9.7)  // 9.6
+	between(t, "unit GFLOPS @1.0GHz", lo.UnitGFLOPS, 7.9, 8.1)  // 8.0
+	// Kernels speed up with the clock, a bit less than linearly (fixed
+	// fence nanoseconds become more cycles).
+	ratio := lo.GEMV4Us / hi.GEMV4Us
+	if ratio < 1.05 || ratio > 1.25 {
+		t.Errorf("1.2GHz sped GEMV4 by %.2fx over 1.0GHz, expected ~1.1-1.2x", ratio)
+	}
+}
+
+// TestHostModelGroundedInController cross-validates the host envelope
+// model against the cycle-level machinery: the streaming efficiency the
+// host model assumes must not exceed what the simulated FR-FCFS
+// controller actually sustains on a sequential stream.
+func TestHostModelGroundedInController(t *testing.T) {
+	gbps, err := streamBandwidth(false, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-channel peak at 1.2 GHz: 32 B per tCCD_S (2 cycles) = 19.2 GB/s.
+	achieved := gbps / 19.2
+	assumed := host.StreamEfficiency()
+	if assumed > achieved+0.05 {
+		t.Errorf("host model assumes %.2f streaming efficiency but the controller delivers only %.2f",
+			assumed, achieved)
+	}
+	if achieved < 0.7 {
+		t.Errorf("controller stream efficiency %.2f is implausibly low", achieved)
+	}
+}
+
+func TestAblateWriteBuffer(t *testing.T) {
+	pts, err := AblateWriteBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[1].Value >= pts[0].Value {
+		t.Errorf("posted writes (%.1f) did not beat interleaved (%.1f)", pts[1].Value, pts[0].Value)
+	}
+}

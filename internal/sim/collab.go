@@ -1,0 +1,101 @@
+package sim
+
+import "fmt"
+
+// Collaborative GEMV (Section VIII future work): with the
+// HBM3-generation's fine-grained SB / AB-PIM interleaving, the host and
+// the PIM units split one matrix-vector product. The split runs along the
+// inner (K) dimension — PIM kernel time is set by the number of input
+// passes, so handing the host a slice of the input columns shortens the
+// PIM burst while the host streams its share of the weights through the
+// cache hierarchy; a cheap elementwise add combines the partial sums.
+// This experiment finds the optimal split on the modeled system.
+
+// CollabPoint is one host-share configuration.
+type CollabPoint struct {
+	HostFrac float64
+	Ns       float64
+}
+
+// CollabResult sweeps the host share of a GEMV.
+type CollabResult struct {
+	M, K        int
+	Points      []CollabPoint
+	Best        CollabPoint
+	PimOnly     float64 // ns with the whole product on PIM
+	HostOnly    float64 // ns with the whole product on the host
+	BestGainPct float64 // improvement of the best split over PIM-only
+}
+
+// RunCollaborativeGemv sweeps the host fraction of an M x K GEMV at batch
+// 1. Both sides start together; the kernel finishes when the slower side
+// does, so the optimum balances their throughputs.
+func RunCollaborativeGemv(pim, hostSys *System, m, k int) (CollabResult, error) {
+	if !pim.IsPIM() {
+		return CollabResult{}, fmt.Errorf("sim: collaborative GEMV needs a PIM system")
+	}
+	res := CollabResult{M: m, K: k}
+	launch := pim.Proc.KernelLaunchNs
+
+	pimTime := func(cols int) (float64, error) {
+		if cols <= 0 {
+			return 0, nil
+		}
+		c, err := pim.PimGemvCost(m, cols)
+		if err != nil {
+			return 0, err
+		}
+		return c.Ns + launch, nil
+	}
+	hostTime := func(cols int) (float64, error) {
+		if cols <= 0 {
+			return 0, nil
+		}
+		c, err := hostSys.Proc.Gemv(m, cols, 1)
+		if err != nil {
+			return 0, err
+		}
+		return c.NS, nil
+	}
+	// Combining the two partial sums is one streamed M-element add.
+	combine, err := hostSys.Proc.Eltwise(m, 1, 3)
+	if err != nil {
+		return res, err
+	}
+
+	var best CollabPoint
+	for _, fracPct := range []int{0, 2, 4, 6, 8, 10, 12, 16, 20, 30, 50, 100} {
+		hostCols := k * fracPct / 100
+		// Keep PIM's share pass-aligned; the host mops up the remainder.
+		hostCols = (hostCols / 8) * 8
+		ht, err := hostTime(hostCols)
+		if err != nil {
+			return res, err
+		}
+		pt, err := pimTime(k - hostCols)
+		if err != nil {
+			return res, err
+		}
+		ns := ht
+		if pt > ns {
+			ns = pt
+		}
+		if hostCols > 0 && hostCols < k {
+			ns += combine.NS
+		}
+		p := CollabPoint{HostFrac: float64(hostCols) / float64(k), Ns: ns}
+		res.Points = append(res.Points, p)
+		if best.Ns == 0 || p.Ns < best.Ns {
+			best = p
+		}
+		switch fracPct {
+		case 0:
+			res.PimOnly = ns
+		case 100:
+			res.HostOnly = ns
+		}
+	}
+	res.Best = best
+	res.BestGainPct = 100 * (res.PimOnly - best.Ns) / res.PimOnly
+	return res, nil
+}

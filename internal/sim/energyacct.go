@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"pimsim/internal/energy"
+	"pimsim/internal/hbm"
+)
+
+// Energy accounting shared by the microbenchmark and application
+// experiments. PIM kernels carry exact device activity counters from the
+// simulator; host kernels carry modeled DRAM byte counts that are
+// converted into the same component energies.
+
+// hostTrafficStats synthesizes device counters for host-generated DRAM
+// traffic: one column command per 32-byte block, with a row activation
+// amortized over a mixed-locality run of blocks.
+func hostTrafficStats(bytes float64, cfg hbm.Config) hbm.Stats {
+	blocks := int64(bytes / float64(cfg.AccessBytes))
+	const blocksPerACT = 16 // typical row-buffer locality for library kernels
+	return hbm.Stats{
+		RD:           blocks, // reads and writes cost the same components here
+		BankReads:    blocks,
+		OffChipBytes: int64(bytes),
+		ACT:          blocks / blocksPerACT,
+		PRE:          blocks / blocksPerACT,
+	}
+}
+
+// deviceDynamicJ converts activity counters into dynamic device energy in
+// joules (no background term).
+func (s *System) deviceDynamicJ(st hbm.Stats) float64 {
+	cfg := s.memCfg()
+	b := energy.Compute(st, 0, cfg, s.Params, 0)
+	return b.Total() * 1e-12
+}
+
+// deviceBackgroundJ is the standby energy of the whole memory system over
+// a wall-clock interval.
+func (s *System) deviceBackgroundJ(ns float64) float64 {
+	channels := float64(s.Channels()) * s.MemScale
+	mw := s.Params.BackgroundMWPerPCH * channels
+	// Refresh upkeep folds into the background rate: one REF per tREFI.
+	cfg := s.memCfg()
+	refiNs := cfg.Timing.CyclesToNs(int64(cfg.Timing.REFI))
+	refMW := s.Params.RefreshPJ / refiNs // pJ per ns = mW
+	return (mw + refMW*channels) * ns * 1e-12
+}
+
+// memCfg returns the device configuration (host-only systems use the
+// plain HBM2 geometry for accounting).
+func (s *System) memCfg() hbm.Config {
+	if s.RT != nil {
+		return s.RT.Cfg
+	}
+	return hbm.HBM2Config(MemClockMHz)
+}
+
+// hostKernelEnergyJ is the total system energy of a host-executed kernel.
+// procWatts is the package power while the kernel runs (Cost.ProcWatts);
+// zero selects the memory-bound rate.
+func (s *System) hostKernelEnergyJ(ns, dramBytes, procWatts float64) (procJ, devJ float64) {
+	if procWatts == 0 {
+		procWatts = s.Proc.MemBoundWatts
+	}
+	// Memory-bound kernels: the load/store machinery, interconnect and
+	// PHY links draw power in proportion to the delivered bandwidth, so a
+	// system with MemScale-times the stacks runs them MemScale-times
+	// faster at MemScale-times the power — "power consumption and
+	// performance increase proportionally with higher bandwidth for
+	// memory-bound applications" (Section VII-C on PROC-HBMx4).
+	if procWatts <= s.Proc.MemBoundWatts {
+		procWatts *= s.MemScale
+	}
+	procJ = procWatts * ns * 1e-9
+	devJ = s.deviceDynamicJ(hostTrafficStats(dramBytes, s.memCfg())) + s.deviceBackgroundJ(ns)
+	return procJ, devJ
+}
+
+// pimKernelEnergyJ is the total system energy of a PIM-executed kernel:
+// the host only drives command streams (reduced package power), the
+// device runs its banks and FPUs.
+func (s *System) pimKernelEnergyJ(ns float64, st hbm.Stats) (procJ, devJ float64) {
+	procJ = s.Proc.BusyWatts * s.HostDriveFrac * ns * 1e-9
+	devJ = s.deviceDynamicJ(st) + s.deviceBackgroundJ(ns)
+	return procJ, devJ
+}

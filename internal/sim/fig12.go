@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/models"
+)
+
+// Fig. 12: relative power and energy of PIM-HBM, PROC-HBM and the
+// hypothetical PROC-HBMx4 across GEMV, ADD and three applications.
+
+// Fig12Row is one workload's three-system comparison, normalized to
+// PROC-HBM.
+type Fig12Row struct {
+	Workload string
+
+	// Execution time in ns per system.
+	PimNs, HostNs, X4Ns float64
+
+	// Average system power in watts.
+	PimW, HostW, X4W float64
+
+	// Energy-efficiency gains over PROC-HBM (>1 = better than baseline).
+	PimEnergyGain float64 // paper: GEMV 8.25x, ADD 1.4x, DS2 3.2x, GNMT 1.38x, AlexNet 1.5x
+	X4EnergyGain  float64 // ~1 for memory-bound kernels
+
+	// PIM-HBM gain over PROC-HBMx4 (paper: DS2 2.8x, GNMT 1.1x, AlexNet 1.3x).
+	PimOverX4 float64
+}
+
+// RunFig12 evaluates the three systems. It builds the PROC-HBMx4 system
+// internally.
+func RunFig12(pim, host1 *System) ([]Fig12Row, error) {
+	if !pim.IsPIM() {
+		return nil, fmt.Errorf("sim: fig12 needs a PIM system")
+	}
+	host4 := NewHostSystem(4)
+
+	rows := make([]Fig12Row, 0, 5)
+
+	// Microbenchmarks: the largest GEMV and a mid ADD at batch 1.
+	for _, spec := range []MicroSpec{
+		{Name: "GEMV", M: 8192, K: 8192},
+		{Name: "ADD", N: 4 << 20},
+	} {
+		r1, err := RunMicro(pim, host1, spec, 1)
+		if err != nil {
+			return nil, err
+		}
+		r4, err := RunMicro(pim, host4, spec, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{
+			Workload: spec.Name,
+			PimNs:    r1.PimNs, HostNs: r1.HostNs, X4Ns: r4.HostNs,
+		}
+		pimJ := r1.PimProcJ + r1.PimDevJ
+		hostJ := r1.HostProcJ + r1.HostDevJ
+		x4J := r4.HostProcJ + r4.HostDevJ
+		row.PimW = pimJ / (r1.PimNs * 1e-9)
+		row.HostW = hostJ / (r1.HostNs * 1e-9)
+		row.X4W = x4J / (r4.HostNs * 1e-9)
+		row.PimEnergyGain = hostJ / pimJ
+		row.X4EnergyGain = hostJ / x4J
+		row.PimOverX4 = x4J / pimJ
+		rows = append(rows, row)
+	}
+
+	for _, m := range []models.Model{models.DS2(), models.GNMT(), models.AlexNet()} {
+		a1, err := EvalApp(pim, host1, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		a4, err := EvalApp(pim, host4, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{
+			Workload: m.Name,
+			PimNs:    a1.PimNs, HostNs: a1.HostNs, X4Ns: a4.HostNs,
+		}
+		pimJ := a1.PimProcJ + a1.PimDevJ
+		hostJ := a1.HostProcJ + a1.HostDevJ
+		x4J := a4.HostProcJ + a4.HostDevJ
+		row.PimW = pimJ / (a1.PimNs * 1e-9)
+		row.HostW = hostJ / (a1.HostNs * 1e-9)
+		row.X4W = x4J / (a4.HostNs * 1e-9)
+		row.PimEnergyGain = hostJ / pimJ
+		row.X4EnergyGain = hostJ / x4J
+		row.PimOverX4 = x4J / pimJ
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FenceStudyResult is the Section VII-B in-order controller analysis.
+type FenceStudyResult struct {
+	Batch int
+	// Per-microbenchmark gain of removing fences (no-fence PIM time over
+	// fenced PIM time, as a speedup).
+	Gains   map[string]float64
+	Geomean float64 // paper reads ~2.2x/1.9x/2.0x at batch 1/2/4
+}
+
+// RunFenceStudy compares fenced and order-guaranteed PIM kernels.
+func RunFenceStudy(batch int) (FenceStudyResult, error) {
+	res := FenceStudyResult{Batch: batch, Gains: map[string]float64{}}
+
+	fenced, err := NewPIMSystem(hbm.VariantBase)
+	if err != nil {
+		return res, err
+	}
+	free, err := NewPIMSystem(hbm.VariantBase)
+	if err != nil {
+		return res, err
+	}
+	free.SetGuaranteeOrder(true)
+
+	prod := 1.0
+	n := 0
+	for _, spec := range TableVI() {
+		var fNs, oNs float64
+		if spec.IsGemv() {
+			fc, err := fenced.PimGemvCost(spec.M, spec.K)
+			if err != nil {
+				return res, err
+			}
+			oc, err := free.PimGemvCost(spec.M, spec.K)
+			if err != nil {
+				return res, err
+			}
+			fNs, oNs = float64(batch)*fc.Ns, float64(batch)*oc.Ns
+		} else {
+			fc, err := fenced.PimEltCost("add", spec.N*batch)
+			if err != nil {
+				return res, err
+			}
+			oc, err := free.PimEltCost("add", spec.N*batch)
+			if err != nil {
+				return res, err
+			}
+			fNs, oNs = fc.Ns, oc.Ns
+		}
+		g := fNs / oNs
+		res.Gains[spec.Name] = g
+		prod *= g
+		n++
+	}
+	res.Geomean = math.Pow(prod, 1/float64(n))
+	return res, nil
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"testing"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/models"
+)
+
+// The sim tests assert the *shapes* of the paper's results: who wins, by
+// roughly what factor, and where the crossovers fall. Bands are generous
+// enough to survive small model changes but tight enough that a broken
+// kernel or mis-calibrated constant fails loudly.
+
+var (
+	sharedPIM  *System
+	sharedHost *System
+)
+
+func systems(t *testing.T) (*System, *System) {
+	t.Helper()
+	if sharedPIM == nil {
+		p, err := NewPIMSystem(hbm.VariantBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedPIM = p
+		sharedHost = NewHostSystem(1)
+	}
+	return sharedPIM, sharedHost
+}
+
+func between(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.3f, want within [%.2f, %.2f]", name, got, lo, hi)
+	}
+}
+
+func TestFig10MicrobenchBatch1(t *testing.T) {
+	pim, hostSys := systems(t)
+	rs, err := RunMicroSuite(pim, hostSys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MicroResult{}
+	for _, r := range rs {
+		byName[r.Spec.Name] = r
+	}
+	// Headline: GEMV up to ~11.2x; the smallest GEMV around 1.4x.
+	between(t, "GEMV4 speedup", byName["GEMV4"].Speedup, 9, 13)
+	between(t, "GEMV1 speedup", byName["GEMV1"].Speedup, 1.1, 2.2)
+	if byName["GEMV1"].Speedup >= byName["GEMV4"].Speedup {
+		t.Error("GEMV speedup should grow with matrix size")
+	}
+	// ADD sits near 1.6x, fence-bound (Section VII-B).
+	for _, n := range []string{"ADD1", "ADD2", "ADD3", "ADD4"} {
+		between(t, n+" speedup", byName[n].Speedup, 1.3, 2.1)
+	}
+	// Batch-1 LLC miss rates are ~100% for every microbenchmark.
+	for _, r := range rs {
+		between(t, r.Spec.Name+" miss", r.HostLLCMiss, 0.95, 1.0)
+	}
+}
+
+func TestFig10BatchCrossover(t *testing.T) {
+	pim, hostSys := systems(t)
+	r2, err := RunMicroSuite(pim, hostSys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunMicroSuite(pim, hostSys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := func(rs []MicroResult, n string) MicroResult {
+		for _, r := range rs {
+			if r.Spec.Name == n {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", n)
+		return MicroResult{}
+	}
+	// Paper: GEMV drops to ~3.2x at batch 2 and loses at batch 4.
+	between(t, "GEMV4 B2 speedup", by(r2, "GEMV4").Speedup, 2.4, 4.2)
+	for _, n := range []string{"GEMV1", "GEMV2", "GEMV3", "GEMV4"} {
+		if s := by(r4, n).Speedup; s > 1.05 {
+			t.Errorf("%s still wins at batch 4 (%.2f); paper shows HBM ahead", n, s)
+		}
+	}
+	// ADD stays memory-bound at any batch (level-1 BLAS).
+	for _, n := range []string{"ADD1", "ADD4"} {
+		between(t, n+" B4 speedup", by(r4, n).Speedup, 1.3, 2.1)
+	}
+	// LLC miss rate falls to 70-80% at batch 4 (Fig. 10 bottom).
+	between(t, "GEMV4 B4 miss", by(r4, "GEMV4").HostLLCMiss, 0.65, 0.85)
+	between(t, "GEMV4 B2 miss", by(r2, "GEMV4").HostLLCMiss, 0.78, 0.90)
+}
+
+func TestFig10Applications(t *testing.T) {
+	pim, hostSys := systems(t)
+	type band struct{ lo, hi float64 }
+	want := map[string]band{
+		"DS2":       {3.0, 4.0}, // paper 3.5x
+		"RNN-T":     {1.3, 3.0},
+		"GNMT":      {1.2, 1.9}, // paper 1.5x
+		"AlexNet":   {1.2, 2.1}, // paper 1.4x
+		"ResNet-50": {0.99, 1.01},
+	}
+	for _, m := range models.All() {
+		r, err := EvalApp(pim, hostSys, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := want[m.Name]
+		between(t, m.Name+" B1 speedup", r.Speedup, b.lo, b.hi)
+	}
+	// Batch 2: DS2 and RNN-T still gain; paper reports 1.6x and 1.9x.
+	ds2b2, err := EvalApp(pim, hostSys, models.DS2(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	between(t, "DS2 B2 speedup", ds2b2.Speedup, 1.4, 2.3)
+}
+
+func TestGNMTEncoderGainsMoreThanWholeApp(t *testing.T) {
+	pim, hostSys := systems(t)
+	whole, err := EvalApp(pim, hostSys, models.GNMT(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EvalApp(pim, hostSys, models.GNMT().EncoderOnly(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section VII-B: the streaming encoder (few kernel calls) gains far
+	// more than the call-bound whole model.
+	if enc.Speedup <= whole.Speedup*1.2 {
+		t.Errorf("encoder %.2fx vs whole %.2fx: expected a clear encoder advantage",
+			enc.Speedup, whole.Speedup)
+	}
+}
+
+func TestFig11Anchors(t *testing.T) {
+	r, err := RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	between(t, "PIM/HBM power", r.PowerRatio, 1.02, 1.09) // paper 1.054
+	if r.PowerRatioNoBufIO >= 1 {
+		t.Errorf("without buffer-die toggle PIM should drop below HBM, got %.3f", r.PowerRatioNoBufIO)
+	}
+	between(t, "cell+IOSA power scaling", r.CellIOSARatio, 3.5, 4.5) // proportional to banks
+	between(t, "energy/bit gain", r.EnergyPerBitRatio, 3.2, 4.2)     // paper ~3.5
+	// The PIM stream's bus and PHY are quiet.
+	if r.PIM.GlobalBus > 0.02*r.PIM.Total() || r.PIM.IOPHY > 0.02*r.PIM.Total() {
+		t.Errorf("PIM stream toggles bus/PHY: %+v", r.PIM)
+	}
+}
+
+func TestFig12EnergyEfficiency(t *testing.T) {
+	pim, hostSys := systems(t)
+	rows, err := RunFig12(pim, hostSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig12Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	between(t, "GEMV energy gain", byName["GEMV"].PimEnergyGain, 7, 10)          // paper 8.25
+	between(t, "ADD energy gain", byName["ADD"].PimEnergyGain, 1.1, 1.8)         // paper 1.4
+	between(t, "DS2 energy gain", byName["DS2"].PimEnergyGain, 2.2, 3.8)         // paper 3.2
+	between(t, "GNMT energy gain", byName["GNMT"].PimEnergyGain, 1.0, 1.7)       // paper 1.38
+	between(t, "AlexNet energy gain", byName["AlexNet"].PimEnergyGain, 1.1, 2.0) // paper 1.5
+
+	// PROC-HBMx4 barely improves energy (power scales with bandwidth).
+	for _, w := range []string{"GEMV", "ADD"} {
+		between(t, w+" x4 energy gain", byName[w].X4EnergyGain, 0.6, 1.4)
+	}
+	// PIM-HBM beats even the 4x-bandwidth hypothetical on DS2 (paper 2.8x).
+	between(t, "DS2 PIM over x4", byName["DS2"].PimOverX4, 1.8, 4.0)
+}
+
+func TestFenceRemovalStudy(t *testing.T) {
+	for _, b := range []int{1, 2, 4} {
+		r, err := RunFenceStudy(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper reads ~2x across batch sizes.
+		between(t, "fence-removal geomean", r.Geomean, 1.5, 2.5)
+		for name, g := range r.Gains {
+			if g < 1 {
+				t.Errorf("batch %d %s: removing fences slowed the kernel (%.2f)", b, name, g)
+			}
+		}
+	}
+}
+
+func TestPowerTimeline(t *testing.T) {
+	pim, hostSys := systems(t)
+	r, err := EvalApp(pim, hostSys, models.DS2(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pimSegs := PowerTimeline(r, pim, true)
+	hostSegs := PowerTimeline(r, hostSys, false)
+	if len(pimSegs) == 0 || len(hostSegs) == 0 {
+		t.Fatal("empty timelines")
+	}
+	// Total duration matches the app times and power stays physical.
+	if end := pimSegs[len(pimSegs)-1].EndNs; end < 0.99*r.PimNs || end > 1.01*r.PimNs {
+		t.Errorf("PIM timeline ends at %.0f, app time %.0f", end, r.PimNs)
+	}
+	for _, s := range append(pimSegs, hostSegs...) {
+		if s.Watts < 50 || s.Watts > 600 {
+			t.Errorf("segment %s power %.0f W out of plausible range", s.Layer, s.Watts)
+		}
+		if s.EndNs <= s.StartNs {
+			t.Errorf("segment %s has non-positive duration", s.Layer)
+		}
+	}
+	// The PIM run must contain PIM-executed segments.
+	onPIM := false
+	for _, s := range pimSegs {
+		onPIM = onPIM || s.OnPIM
+	}
+	if !onPIM {
+		t.Error("no PIM segments in the DS2 timeline")
+	}
+}
+
+func TestTableVISpecs(t *testing.T) {
+	specs := TableVI()
+	if len(specs) != 8 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].M != 1024 || specs[0].K != 4096 {
+		t.Error("GEMV1 dims wrong")
+	}
+	if specs[3].M != 8192 || specs[3].K != 8192 {
+		t.Error("GEMV4 dims wrong")
+	}
+	if specs[4].N != 2<<20 || specs[7].N != 16<<20 {
+		t.Error("ADD sizes wrong")
+	}
+	for _, s := range BNSpecs() {
+		if s.IsGemv() {
+			t.Error("BN spec marked as GEMV")
+		}
+	}
+}
+
+func TestHostSystemRejectsPimCalls(t *testing.T) {
+	h := NewHostSystem(1)
+	if _, err := h.PimGemvCost(128, 128); err == nil {
+		t.Error("host-only system accepted a PIM kernel")
+	}
+	if h.IsPIM() {
+		t.Error("host system claims PIM")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	rs := []MicroResult{{Speedup: 2}, {Speedup: 8}}
+	if g := GeoMeanSpeedup(rs); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+	if g := GeoMeanSpeedup(nil); g != 0 {
+		t.Errorf("empty geomean = %v", g)
+	}
+}
+
+func TestCollaborativeGemvFindsASplit(t *testing.T) {
+	pim, hostSys := systems(t)
+	r, err := RunCollaborativeGemv(pim, hostSys, 8192, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collaboration must beat both pure placements, with the optimum at a
+	// small host share (the host is ~an order of magnitude slower per row).
+	if r.Best.Ns >= r.PimOnly {
+		t.Errorf("best split %.0f ns not better than PIM-only %.0f ns", r.Best.Ns, r.PimOnly)
+	}
+	if r.Best.Ns >= r.HostOnly {
+		t.Errorf("best split not better than host-only")
+	}
+	if r.Best.HostFrac <= 0 || r.Best.HostFrac > 0.3 {
+		t.Errorf("optimal host share %.2f, expected a small positive fraction", r.Best.HostFrac)
+	}
+	if r.BestGainPct < 2 || r.BestGainPct > 30 {
+		t.Errorf("collaboration gain %.1f%%, expected a modest single/low-double digit win", r.BestGainPct)
+	}
+}

@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"fmt"
+
+	"pimsim/internal/fp16"
+)
+
+// Slice support and the LSTM composition. The paper ships six PIM custom
+// ops — ADD, MUL, ReLU, LSTM, GEMV, BN (Section V-A); here LSTM is
+// composed from the primitive graph ops, with its two GEMVs eligible for
+// PIM placement and the gate math on host-only activation ops.
+
+// Slice extracts elements [off, off+n) of a vector (a host-side view; it
+// moves no DRAM data).
+func (g *Graph) Slice(name string, x *Node, off, n int) *Node {
+	return g.add(&Node{Kind: OpSlice, Name: name, Inputs: []*Node{x}, Off: off, Len: n})
+}
+
+// BuildLSTMStep wires one LSTM cell step from primitives:
+//
+//	z  = Wx*x + Wh*h + b
+//	i,f,g,o = sigmoid/tanh of the four H-wide bands of z
+//	c' = f*c + i*g ;  h' = o * tanh(c')
+//
+// Gate order matches blas.LSTMWeights: [input, forget, cell, output].
+// The two MatVecs are the memory-bound part the PIM session offloads.
+func BuildLSTMStep(g *Graph, name string, wx, wh, bias *Tensor, x, h, c *Node) (hOut, cOut *Node, err error) {
+	if len(wx.Shape) != 2 || len(wh.Shape) != 2 {
+		return nil, nil, fmt.Errorf("tensor: LSTM weights must be matrices")
+	}
+	fourH := wx.Shape[0]
+	if fourH%4 != 0 || wh.Shape[0] != fourH || wh.Shape[1] != fourH/4 {
+		return nil, nil, fmt.Errorf("tensor: inconsistent LSTM dims %v / %v", wx.Shape, wh.Shape)
+	}
+	H := fourH / 4
+
+	zx := g.MatVec(name+"/wx", wx, x)
+	zh := g.MatVec(name+"/wh", wh, h)
+	z := g.Add(name+"/z", zx, zh)
+	if bias != nil {
+		z = g.Add(name+"/bias", z, g.Const(name+"/b", bias))
+	}
+
+	gate := func(idx int, act func(string, *Node) *Node, label string) *Node {
+		return act(name+"/"+label, g.Slice(name+"/"+label+"_pre", z, idx*H, H))
+	}
+	i := gate(0, g.Sigmoid, "i")
+	f := gate(1, g.Sigmoid, "f")
+	gg := gate(2, g.Tanh, "g")
+	o := gate(3, g.Sigmoid, "o")
+
+	cOut = g.Add(name+"/c", g.Mul(name+"/fc", f, c), g.Mul(name+"/ig", i, gg))
+	hOut = g.Mul(name+"/h", o, g.Tanh(name+"/tc", cOut))
+	return hOut, cOut, nil
+}
+
+// executeSlice implements OpSlice (called from Session.execute).
+func executeSlice(n *Node, in *Tensor) (*Tensor, error) {
+	if n.Off < 0 || n.Len <= 0 || n.Off+n.Len > in.Numel() {
+		return nil, fmt.Errorf("slice [%d,%d) of %d elements", n.Off, n.Off+n.Len, in.Numel())
+	}
+	out := fp16.NewVector(n.Len)
+	copy(out, in.Data[n.Off:n.Off+n.Len])
+	return &Tensor{Shape: []int{n.Len}, Data: out}, nil
+}

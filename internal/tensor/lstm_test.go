@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+)
+
+func TestBuildLSTMStepMatchesBLAS(t *testing.T) {
+	const H, X = 24, 32
+	rng := rand.New(rand.NewSource(41))
+	wx := randTensor(rng, 4*H, X)
+	wh := randTensor(rng, 4*H, H)
+	bias := randTensor(rng, 4*H)
+	x := randTensor(rng, X)
+	h0 := randTensor(rng, H)
+	c0 := randTensor(rng, H)
+
+	var g Graph
+	xn := g.Input("x")
+	hn := g.Input("h")
+	cn := g.Input("c")
+	hOut, cOut, err := BuildLSTMStep(&g, "cell", wx, wh, bias, xn, hn, cn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds := map[string]*Tensor{"x": x, "h": h0, "c": c0}
+
+	// Host session vs the blas reference cell.
+	got, err := NewHostSession().Run(feeds, hOut, cOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := blas.LSTMWeights{Wx: wx.Data, Wh: wh.Data, B: bias.Data, X: X, H: H}
+	wantH, wantC, err := blas.HostLSTMCell(w, x.Data, h0.Data, c0.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounding orders differ (graph adds in fp16 between ops, blas sums
+	// pre-activations in float64); gates saturate so drift stays small.
+	if d := fp16.MaxAbsDiff(got[0].Data, wantH); d > 0.03 {
+		t.Errorf("h diverged by %v", d)
+	}
+	if d := fp16.MaxAbsDiff(got[1].Data, wantC); d > 0.06 {
+		t.Errorf("c diverged by %v", d)
+	}
+
+	// The same graph on a PIM session: the two MatVecs offload.
+	sess := NewPIMSession(pimRT(t))
+	sess.OffloadThreshold = 1
+	pimOut, err := sess.Run(feeds, hOut, cOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fp16.MaxAbsDiff(pimOut[0].Data, got[0].Data); d > 0.05 {
+		t.Errorf("PIM h diverged by %v", d)
+	}
+	offloadedMatVecs := 0
+	for n, where := range sess.Placement {
+		if n.Kind == OpMatVec && where == "pim" {
+			offloadedMatVecs++
+		}
+		if (n.Kind == OpSigmoid || n.Kind == OpTanh || n.Kind == OpSlice) && where == "pim" {
+			t.Errorf("host-only op %s placed on PIM", n.Kind)
+		}
+	}
+	if offloadedMatVecs != 2 {
+		t.Errorf("%d MatVecs offloaded, want 2 (Wx and Wh)", offloadedMatVecs)
+	}
+}
+
+func TestBuildLSTMStepValidation(t *testing.T) {
+	var g Graph
+	x := g.Input("x")
+	h := g.Input("h")
+	c := g.Input("c")
+	if _, _, err := BuildLSTMStep(&g, "bad", New(10), New(10, 10), nil, x, h, c); err == nil {
+		t.Error("vector weights accepted")
+	}
+	if _, _, err := BuildLSTMStep(&g, "bad2", New(12, 4), New(12, 4), nil, x, h, c); err == nil {
+		t.Error("inconsistent Wh accepted (want 12x3)")
+	}
+}
+
+func TestSliceOp(t *testing.T) {
+	v, err := FromSlice([]float32{1, 2, 3, 4, 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Graph
+	s := g.Slice("mid", g.Const("v", v), 1, 3)
+	out, err := NewHostSession().Run(nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0].Float32s()
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("slice = %v", got)
+	}
+	for _, bad := range []*Node{
+		g.Slice("oob", g.Const("v2", v), 3, 3),
+		g.Slice("neg", g.Const("v3", v), -1, 2),
+	} {
+		if _, err := NewHostSession().Run(nil, bad); err == nil {
+			t.Errorf("bad slice %q accepted", bad.Name)
+		}
+	}
+}

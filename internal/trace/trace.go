@@ -1,0 +1,136 @@
+// Package trace records DRAM command streams. A Recorder rings the last N
+// commands a controller issued (for post-mortem debugging of PIM
+// kernels), and the text format round-trips through a parser so traces
+// can be replayed against the device model (cmd/tracerun) — the DRAMSim2
+// workflow the paper used for its own design space exploration.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pimsim/internal/hbm"
+)
+
+// Event is one issued command.
+type Event struct {
+	Cycle   int64
+	Channel int
+	Kind    hbm.CmdKind
+	BG      int
+	Bank    int
+	Row     uint32
+	Col     uint32
+}
+
+// String renders one trace line: "cycle ch CMD bg bank row col".
+func (e Event) String() string {
+	return fmt.Sprintf("%d %d %s %d %d %d %d",
+		e.Cycle, e.Channel, e.Kind, e.BG, e.Bank, e.Row, e.Col)
+}
+
+// Recorder keeps the most recent events in a ring buffer.
+type Recorder struct {
+	ring  []Event
+	next  int
+	total int64
+}
+
+// NewRecorder holds the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.next] = e
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.total++
+}
+
+// Total returns how many events were ever recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Events returns the retained events in issue order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// Dump writes the retained events as text.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a text trace. Lines starting with '#' and blank lines are
+// skipped. The cycle column is advisory on replay (commands re-time
+// against the device model); it must still parse.
+func Parse(rd io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(rd)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var e Event
+		var kind string
+		n, err := fmt.Sscanf(line, "%d %d %s %d %d %d %d",
+			&e.Cycle, &e.Channel, &kind, &e.BG, &e.Bank, &e.Row, &e.Col)
+		if err != nil || n != 7 {
+			return nil, fmt.Errorf("trace: line %d: %q", lineno, line)
+		}
+		k, ok := parseKind(kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown command %q", lineno, kind)
+		}
+		e.Kind = k
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func parseKind(s string) (hbm.CmdKind, bool) {
+	switch strings.ToUpper(s) {
+	case "ACT":
+		return hbm.CmdACT, true
+	case "PRE":
+		return hbm.CmdPRE, true
+	case "PREA":
+		return hbm.CmdPREA, true
+	case "RD":
+		return hbm.CmdRD, true
+	case "WR":
+		return hbm.CmdWR, true
+	case "REF":
+		return hbm.CmdREF, true
+	}
+	return 0, false
+}
+
+// Command converts an event back into an issueable command (no payload).
+func (e Event) Command() hbm.Command {
+	return hbm.Command{Kind: e.Kind, BG: e.BG, Bank: e.Bank, Row: e.Row, Col: e.Col}
+}

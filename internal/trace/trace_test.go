@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pimsim/internal/hbm"
+)
+
+func TestRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Cycle: int64(i), Kind: hbm.CmdRD, Col: uint32(i)})
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(i+2) {
+			t.Errorf("event %d cycle %d, want %d (oldest dropped first)", i, e.Cycle, i+2)
+		}
+	}
+}
+
+func TestRecorderUnderfill(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Cycle: 1, Kind: hbm.CmdACT, Row: 7})
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Row != 7 {
+		t.Fatalf("%+v", ev)
+	}
+	if NewRecorder(0) == nil {
+		t.Fatal("zero capacity recorder")
+	}
+}
+
+func TestDumpParseRoundTrip(t *testing.T) {
+	r := NewRecorder(8)
+	events := []Event{
+		{Cycle: 10, Channel: 0, Kind: hbm.CmdACT, BG: 1, Bank: 2, Row: 300},
+		{Cycle: 24, Channel: 0, Kind: hbm.CmdRD, BG: 1, Bank: 2, Col: 5},
+		{Cycle: 30, Channel: 1, Kind: hbm.CmdWR, BG: 0, Bank: 0, Col: 9},
+		{Cycle: 44, Channel: 0, Kind: hbm.CmdPRE, BG: 1, Bank: 2},
+		{Cycle: 50, Channel: 0, Kind: hbm.CmdPREA},
+		{Cycle: 60, Channel: 0, Kind: hbm.CmdREF},
+	}
+	for _, e := range events {
+		r.Record(e)
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("parsed %d of %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+10 0 ACT 0 0 5 0
+
+12 0 RD 0 0 0 3
+`
+	ev, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 || ev[1].Col != 3 {
+		t.Fatalf("%+v", ev)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"10 0 FROB 0 0 0 0",
+		"not a line",
+		"10 0 RD 0 0",
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestEventCommand(t *testing.T) {
+	e := Event{Kind: hbm.CmdWR, BG: 2, Bank: 3, Row: 9, Col: 8}
+	cmd := e.Command()
+	if cmd.Kind != hbm.CmdWR || cmd.BG != 2 || cmd.Bank != 3 || cmd.Row != 9 || cmd.Col != 8 {
+		t.Errorf("%+v", cmd)
+	}
+}
