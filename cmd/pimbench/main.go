@@ -17,6 +17,7 @@
 //	pimbench -exp drams       the same stack on GDDR6 and LPDDR5 (Section III)
 //	pimbench -exp collab      collaborative host+PIM GEMV (Section VIII)
 //	pimbench -exp corners     1.0 vs 1.2 GHz operating points (Tables IV/V)
+//	pimbench -exp metrics     per-kernel runtime phase breakdown (metrics layer)
 //	pimbench -exp all         everything above
 package main
 
@@ -49,7 +50,7 @@ func main() {
 		{"fig13", fig13}, {"fig14", fig14},
 		{"fences", fences}, {"encoder", encoder},
 		{"ablation", ablation}, {"drams", drams}, {"collab", collab},
-		{"corners", corners},
+		{"corners", corners}, {"metrics", metricsBreakdown},
 	}
 	ran := false
 	for _, r := range runners {
@@ -443,6 +444,30 @@ func corners() error {
 	for _, c := range cs {
 		fmt.Printf("%.1f GHz %14.3f %14.1f %14.1f %12.1f\n",
 			float64(c.MHz)/1000, c.OnChipTBps, c.OffChipGBps, c.UnitGFLOPS, c.GEMV4Us)
+	}
+	return nil
+}
+
+func metricsBreakdown() error {
+	rows, err := sim.RunPhaseBreakdown()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Per-kernel runtime phase breakdown (count / cycles per phase),")
+	fmt.Println("from metrics snapshot diffs around each kernel:")
+	fmt.Printf("%-12s %10s", "kernel", "cycles")
+	if len(rows) > 0 {
+		for _, p := range rows[0].Phases {
+			fmt.Printf(" %16s", p.Name)
+		}
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-12s %10d", r.Kernel, r.Cycles)
+		for _, p := range r.Phases {
+			fmt.Printf(" %16s", fmt.Sprintf("%d/%d", p.Count, p.Cycles))
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "data seed (functional mode)")
 	traceN := flag.Int("trace", 0, "print the last N DRAM commands of channel 0")
 	dumpCRF := flag.Bool("dump-crf", false, "disassemble unit 0's CRF after the kernel")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (\"-\" for stdout)")
+	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
 	flag.Parse()
 
 	variant, ok := map[string]hbm.Variant{
@@ -204,6 +206,33 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(rt, *metricsOut, *metricsFormat); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the runtime's metrics snapshot to path ("-" for
+// stdout) in JSON or Prometheus text format.
+func writeMetrics(rt *runtime.Runtime, path, format string) error {
+	snap := rt.Metrics.Snapshot()
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch strings.ToLower(format) {
+	case "json":
+		return snap.WriteJSON(w)
+	case "prom", "prometheus":
+		return snap.WritePrometheus(w)
+	}
+	return fmt.Errorf("unknown metrics format %q (want json or prom)", format)
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 
 	"pimsim/internal/hbm"
 	"pimsim/internal/memctrl"
+	"pimsim/internal/metrics"
 	"pimsim/internal/trace"
 )
 
@@ -63,9 +64,11 @@ func runTxn(f *os.File, dev *hbm.Device, cfg hbm.Config) {
 		cfg.Rows, cfg.ColumnsPerRow(), cfg.AccessBytes)
 	chans := make([]*memctrl.Channel, dev.NumPCH())
 	scheds := make([]*memctrl.Scheduler, dev.NumPCH())
+	reg := metrics.New(dev.NumPCH())
 	for i := range chans {
 		chans[i] = memctrl.NewChannel(dev.PCH(i), cfg)
 		chans[i].ChannelID = i
+		chans[i].UseMetrics(reg, i)
 		scheds[i] = memctrl.NewScheduler(chans[i], cfg)
 	}
 
@@ -117,14 +120,15 @@ func runTxn(f *os.File, dev *hbm.Device, cfg hbm.Config) {
 	fmt.Printf("transactions: %d reads, %d writes\n", reads, writes)
 	fmt.Printf("finish: cycle %d (%.2f us)\n", end, ns/1000)
 	fmt.Printf("bandwidth: %.2f GB/s\n", bytes/ns)
-	var hits, misses, reorders int64
+	var hits, misses, reorders, ahead int64
 	for _, s := range scheds {
-		hits += s.RowHits
-		misses += s.RowMisses + s.RowOpens
-		reorders += s.Reordered
+		hits += s.RowHits()
+		misses += s.RowMisses() + s.RowOpens()
+		reorders += s.Reordered()
+		ahead += s.AheadOpens()
 	}
-	fmt.Printf("row buffer: %d hits, %d misses/opens (%.1f%% hit), %d reordered\n",
-		hits, misses, 100*float64(hits)/float64(hits+misses), reorders)
+	fmt.Printf("row buffer: %d hits, %d misses/opens (%.1f%% hit), %d reordered, %d speculative opens\n",
+		hits, misses, 100*float64(hits)/float64(hits+misses), reorders, ahead)
 	printStats(dev)
 }
 
@@ -133,11 +137,13 @@ func runCmd(f *os.File, dev *hbm.Device, cfg hbm.Config) {
 	if err != nil {
 		fatal(err)
 	}
+	// Validate addresses against the device geometry up front: a bad trace
+	// fails with its line index, not deep inside the channel model.
+	if err := trace.Validate(events, cfg, dev.NumPCH()); err != nil {
+		fatal(err)
+	}
 	now := make([]int64, dev.NumPCH())
 	for i, e := range events {
-		if e.Channel < 0 || e.Channel >= dev.NumPCH() {
-			fatal(fmt.Errorf("event %d: channel %d out of range", i, e.Channel))
-		}
 		p := dev.PCH(e.Channel)
 		cmd := e.Command()
 		if cmd.Kind == hbm.CmdWR {

@@ -310,6 +310,9 @@ func runElt(rt *runtime.Runtime, op eltOp, n int, a, b fp16.Vector, gamma, beta 
 					for batch := 0; batch < batches; batch++ {
 						for i := 0; i < plan.G; i++ {
 							col := uint32(c*plan.G + i)
+							// Shadow the enclosing err: channel goroutines
+							// must not share a result slot.
+							var err error
 							switch {
 							case batch == batches-1: // store the result
 								err = rt.TriggerWR(ch, selD, offD+col, nil)

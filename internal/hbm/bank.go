@@ -144,3 +144,8 @@ func (c Config) addrCheck(cmd Command) error {
 	}
 	return nil
 }
+
+// CheckCommand validates cmd's addresses against the geometry without
+// issuing it. Trace replay uses this to reject malformed input up front
+// instead of failing deep inside the channel model.
+func (c Config) CheckCommand(cmd Command) error { return c.addrCheck(cmd) }

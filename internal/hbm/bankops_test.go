@@ -1,0 +1,85 @@
+package hbm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBankOpsCounting(t *testing.T) {
+	s := newTestPCH(t, HBM2Config(1000))
+	s.issue(Command{Kind: CmdACT, BG: 0, Bank: 0, Row: 1})
+	s.issue(Command{Kind: CmdWR, BG: 0, Bank: 0, Col: 0, Data: make([]byte, 32)})
+	s.issue(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0})
+	s.issue(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 1})
+	s.issue(Command{Kind: CmdPRE, BG: 0, Bank: 0})
+	s.issue(Command{Kind: CmdACT, BG: 1, Bank: 2, Row: 3})
+	s.issue(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 0})
+
+	ops := s.p.BankOps()
+	if got := ops[s.p.flat(0, 0)]; got != (BankOps{ACT: 1, RD: 2, WR: 1}) {
+		t.Errorf("bank (0,0) ops = %+v", got)
+	}
+	if got := ops[s.p.flat(1, 2)]; got != (BankOps{ACT: 1, RD: 1}) {
+		t.Errorf("bank (1,2) ops = %+v", got)
+	}
+	var rest BankOps
+	for i, o := range ops {
+		if i == s.p.flat(0, 0) || i == s.p.flat(1, 2) {
+			continue
+		}
+		rest.ACT += o.ACT
+		rest.RD += o.RD
+		rest.WR += o.WR
+	}
+	if rest != (BankOps{}) {
+		t.Errorf("untouched banks accumulated %+v", rest)
+	}
+
+	// BankOps returns a copy — callers cannot corrupt the live counters.
+	ops[0].ACT = 999
+	if got := s.p.BankOps()[0].ACT; got == 999 {
+		t.Error("BankOps exposed internal state")
+	}
+}
+
+func TestBankOpsBroadcastTouchesEveryBank(t *testing.T) {
+	s := newTestPCH(t, PIMHBMConfig(1000))
+	enterAB(s)
+	s.issue(Command{Kind: CmdACT, Row: 9}) // broadcast ACT
+	s.issue(Command{Kind: CmdWR, Col: 3, Data: bytes.Repeat([]byte{0xAB}, 32)})
+	s.issue(Command{Kind: CmdRD, Col: 3})
+	for i, o := range s.p.BankOps() {
+		if o.ACT != 1 || o.RD != 1 || o.WR != 1 {
+			t.Fatalf("bank %d after broadcast: %+v, want 1/1/1", i, o)
+		}
+	}
+}
+
+func TestModeResidencyAccountsSwitches(t *testing.T) {
+	s := newTestPCH(t, PIMHBMConfig(1000))
+	enterAB(s)
+	mid := s.now
+	exitAB(s)
+	end := s.now + 10
+	res := s.p.ModeResidency(end)
+	if res[ModeSB]+res[ModeAB]+res[ModeABPIM] != end {
+		t.Errorf("residency %v does not sum to now=%d", res, end)
+	}
+	if res[ModeAB] == 0 {
+		t.Error("no AB residency recorded across the handshakes")
+	}
+	if res[ModeSB] <= res[ModeAB] && mid < end {
+		// SB covers the pre-handshake span plus everything after exit.
+		t.Logf("residency %v (mid=%d end=%d)", res, mid, end)
+	}
+	if res[ModeABPIM] != 0 {
+		t.Errorf("AB-PIM residency %d without SetPIMOpMode", res[ModeABPIM])
+	}
+	// Querying earlier than the last switch must not go negative.
+	early := s.p.ModeResidency(0)
+	for m, c := range early {
+		if c < 0 {
+			t.Errorf("mode %d residency negative: %d", m, c)
+		}
+	}
+}

@@ -146,7 +146,22 @@ type PseudoChannel struct {
 	rrdAllowedL []int64 // tRRD_L per bank group
 	busyUntil   int64   // refresh blackout
 
-	stats Stats
+	stats   Stats
+	bankOps []BankOps // per-bank command observations (utilization balance)
+
+	// Mode residency: cycles spent in each operating mode, attributed at
+	// mode-switch command issue cycles.
+	modeSince  int64
+	modeCycles [3]int64
+}
+
+// BankOps counts the commands one bank observed: its demand profile for
+// bank-utilization metrics. Broadcast (AB/AB-PIM) commands count into
+// every bank, exactly as every bank's row decoder and IOSA fire.
+type BankOps struct {
+	ACT int64
+	RD  int64
+	WR  int64
 }
 
 // newPCH builds a pseudo channel for cfg.
@@ -157,6 +172,7 @@ func newPCH(cfg *Config) *PseudoChannel {
 		colAllowedL: make([]int64, cfg.BankGroups),
 		rdAllowedL:  make([]int64, cfg.BankGroups),
 		rrdAllowedL: make([]int64, cfg.BankGroups),
+		bankOps:     make([]BankOps, cfg.Banks()),
 	}
 	// Seed the four-activate window in the distant past so the first four
 	// ACTs are unconstrained.
@@ -189,6 +205,32 @@ func (p *PseudoChannel) Stats() Stats { return p.stats }
 
 // ResetStats zeroes the counters.
 func (p *PseudoChannel) ResetStats() { p.stats = Stats{} }
+
+// BankOps returns a copy of the per-bank command counts (flat bank index).
+func (p *PseudoChannel) BankOps() []BankOps {
+	return append([]BankOps(nil), p.bankOps...)
+}
+
+// ModeResidency returns the cycles spent in each operating mode (indexed
+// by Mode) up to cycle now, including the currently open residency span.
+func (p *PseudoChannel) ModeResidency(now int64) [3]int64 {
+	out := p.modeCycles
+	if now > p.modeSince {
+		out[p.mode] += now - p.modeSince
+	}
+	return out
+}
+
+// switchMode moves the channel to mode m at cycle at, closing the
+// residency span of the previous mode.
+func (p *PseudoChannel) switchMode(m Mode, at int64) {
+	if at > p.modeSince {
+		p.modeCycles[p.mode] += at - p.modeSince
+		p.modeSince = at
+	}
+	p.mode = m
+	p.stats.ModeSwitches++
+}
 
 // flat returns the flat bank index for a command address.
 func (p *PseudoChannel) flat(bg, b int) int { return bg*p.cfg.BanksPerGroup + b }
@@ -339,12 +381,18 @@ func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
 		if broadcast {
 			for i := range p.banks {
 				p.banks[i].activate(cmd.Row, at, tm)
+				p.bankOps[i].ACT++
 			}
 			p.stats.ABACT++
 			return res, nil
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		b.activate(cmd.Row, at, tm)
+		if !p.isModeHandshake(cmd) {
+			// Handshake ACTs address the mode row, not the array; they
+			// would skew per-bank utilization counts.
+			p.bankOps[p.flat(cmd.BG, cmd.Bank)].ACT++
+		}
 		p.actWindow.record(at)
 		p.rrdAllowed = maxi64(p.rrdAllowed, at+int64(tm.RRDS))
 		p.rrdAllowedL[cmd.BG] = maxi64(p.rrdAllowedL[cmd.BG], at+int64(tm.RRDL))
@@ -366,7 +414,7 @@ func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
 		p.banks[idx].precharge(at, tm)
 		p.stats.PRE++
 		if wasHandshake {
-			p.completeHandshake(cmd.Bank)
+			p.completeHandshake(cmd.Bank, at)
 		}
 		return res, nil
 
@@ -438,8 +486,10 @@ func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult
 	p.stats.OffChipBytes += int64(p.cfg.AccessBytes)
 	if cmd.Kind == CmdRD {
 		p.stats.RD++
+		p.bankOps[idx].RD++
 	} else {
 		p.stats.WR++
+		p.bankOps[idx].WR++
 	}
 
 	if space, ok := p.cfg.confSpace(b.openRow); ok {
@@ -472,6 +522,11 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 	openRow := p.banks[0].openRow
 	for i := range p.banks {
 		p.banks[i].column(cmd.Kind, res.Cycle, &p.cfg.Timing)
+		if cmd.Kind == CmdRD {
+			p.bankOps[i].RD++
+		} else {
+			p.bankOps[i].WR++
+		}
 	}
 	if cmd.Kind == CmdRD {
 		p.stats.ABRD++
@@ -547,7 +602,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSpace, bankIdxs []int) (IssueResult, error) {
 	if space == RegMode {
 		if cmd.Kind == CmdWR && cmd.Col == ColPIMOpMode {
-			return res, p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1)
+			return res, p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1, res.Cycle)
 		}
 		// Other mode-row accesses read back zero / are ignored.
 		if cmd.Kind == CmdRD && p.cfg.Functional {
@@ -585,7 +640,7 @@ func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSp
 }
 
 // setPIMOpMode handles the PIM_OP_MODE register (Fig. 3c).
-func (p *PseudoChannel) setPIMOpMode(on bool) error {
+func (p *PseudoChannel) setPIMOpMode(on bool, at int64) error {
 	switch {
 	case p.mode == ModeSB:
 		return fmt.Errorf("hbm: PIM_OP_MODE write in SB mode; enter AB mode first")
@@ -596,25 +651,21 @@ func (p *PseudoChannel) setPIMOpMode(on bool) error {
 		if p.exec == nil {
 			return fmt.Errorf("hbm: AB-PIM mode with no PIM executor attached")
 		}
-		p.mode = ModeABPIM
+		p.switchMode(ModeABPIM, at)
 		p.exec.ResetPPC()
-		p.stats.ModeSwitches++
 	case !on && p.mode == ModeABPIM:
-		p.mode = ModeAB
-		p.stats.ModeSwitches++
+		p.switchMode(ModeAB, at)
 	}
 	return nil
 }
 
 // completeHandshake finishes an ACT+PRE mode-transition sequence.
-func (p *PseudoChannel) completeHandshake(bankAddr int) {
+func (p *PseudoChannel) completeHandshake(bankAddr int, at int64) {
 	switch {
 	case bankAddr == abmrBank && p.mode == ModeSB:
-		p.mode = ModeAB
-		p.stats.ModeSwitches++
+		p.switchMode(ModeAB, at)
 	case bankAddr == sbmrBank && p.mode != ModeSB:
-		p.mode = ModeSB
-		p.stats.ModeSwitches++
+		p.switchMode(ModeSB, at)
 	}
 }
 

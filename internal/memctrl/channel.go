@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimsim/internal/hbm"
+	"pimsim/internal/metrics"
 	"pimsim/internal/trace"
 )
 
@@ -32,9 +33,9 @@ type Channel struct {
 
 	openABRow   uint32 // currently open broadcast row (PIM bursts)
 	abRowOpen   bool
-	fences      int64
-	refreshes   int64
 	lastDataEnd int64 // completion cycle of the latest column data transfer
+
+	m *chanMetrics
 
 	// Trace, when set, records every issued command (including the
 	// refresh machinery's own commands). ChannelID labels the events.
@@ -51,15 +52,31 @@ const RefreshPostponeLimit = 8
 // refills the controller queue (~35 ns at 1 GHz).
 const DefaultFenceCycles = 35
 
-// NewChannel wraps a pseudo channel.
+// NewChannel wraps a pseudo channel. The channel starts with a private
+// single-shard metrics registry; UseMetrics rebinds it to a shared one.
 func NewChannel(pch *hbm.PseudoChannel, cfg hbm.Config) *Channel {
 	return &Channel{
 		pch:         pch,
 		cfg:         cfg,
 		nextRefresh: int64(cfg.Timing.REFI),
 		FenceCycles: DefaultFenceCycles,
+		m:           newChanMetrics(metrics.New(1), 0),
 	}
 }
+
+// UseMetrics rebinds the channel's instrumentation to reg, writing into
+// the given shard (one shard per channel keeps concurrent kernels under
+// runtime.ParallelKernels contention free). Call it before any traffic:
+// counts accumulated under the previous registry are not carried over.
+func (c *Channel) UseMetrics(reg *metrics.Registry, shard int) {
+	c.m = newChanMetrics(reg, shard)
+}
+
+// Metrics returns the registry the channel reports into.
+func (c *Channel) Metrics() *metrics.Registry { return c.m.reg }
+
+// MetricsShard returns the registry shard the channel writes to.
+func (c *Channel) MetricsShard() int { return c.m.shard }
 
 // Now returns the channel clock.
 func (c *Channel) Now() int64 { return c.now }
@@ -71,11 +88,11 @@ func (c *Channel) AdvanceTo(t int64) {
 	}
 }
 
-// Fences returns how many fences were executed.
-func (c *Channel) Fences() int64 { return c.fences }
+// Fences returns how many fences this channel executed.
+func (c *Channel) Fences() int64 { return c.m.fences.ShardValue(c.m.shard) }
 
-// Refreshes returns how many REF commands were issued.
-func (c *Channel) Refreshes() int64 { return c.refreshes }
+// Refreshes returns how many REF commands this channel issued.
+func (c *Channel) Refreshes() int64 { return c.m.refreshes.ShardValue(c.m.shard) }
 
 // PCH exposes the underlying pseudo channel.
 func (c *Channel) PCH() *hbm.PseudoChannel { return c.pch }
@@ -190,6 +207,8 @@ func (c *Channel) maybeRefresh() error {
 				// Postpone rather than yank rows out from under the
 				// transaction scheduler.
 				c.refreshDebt++
+				c.m.refreshPostponed.Inc(c.m.shard)
+				c.m.refreshDebt.Set(c.m.shard, int64(c.refreshDebt))
 				c.nextRefresh += int64(c.cfg.Timing.REFI)
 				continue
 			}
@@ -200,9 +219,10 @@ func (c *Channel) maybeRefresh() error {
 		if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdREF}); err != nil {
 			return fmt.Errorf("memctrl: refresh: %w", err)
 		}
-		c.refreshes++
+		c.m.refreshes.Inc(c.m.shard)
 		if c.refreshDebt > 0 {
 			c.refreshDebt--
+			c.m.refreshDebt.Set(c.m.shard, int64(c.refreshDebt))
 		}
 		if c.abRowOpen && c.pch.Mode() != hbm.ModeSB {
 			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, Row: c.openABRow}); err != nil {
@@ -241,9 +261,12 @@ func (c *Channel) Fence() {
 	if c.GuaranteeOrder {
 		return
 	}
-	c.fences++
+	c.m.fences.Inc(c.m.shard)
+	stall := int64(c.FenceCycles)
 	if c.lastDataEnd > c.now {
+		stall += c.lastDataEnd - c.now
 		c.now = c.lastDataEnd
 	}
+	c.m.fenceStall.Add(c.m.shard, stall)
 	c.now += int64(c.FenceCycles)
 }

@@ -1,0 +1,68 @@
+package memctrl
+
+import "pimsim/internal/metrics"
+
+// chanMetrics bundles every memctrl metric handle for one channel. All
+// handles are registered eagerly so every snapshot carries the full
+// memctrl name set (zero-valued when idle) — scrapers never have to guess
+// which counters exist.
+type chanMetrics struct {
+	reg   *metrics.Registry
+	shard int
+
+	// Channel-level.
+	fences           *metrics.Counter
+	fenceStall       *metrics.Counter
+	refreshes        *metrics.Counter
+	refreshPostponed *metrics.Counter
+	refreshDebt      *metrics.Gauge
+
+	// Demand scheduling (FR-FCFS service path).
+	rowHits   *metrics.Counter
+	rowMisses *metrics.Counter
+	rowOpens  *metrics.Counter
+	reordered *metrics.Counter
+	completed *metrics.Counter
+	forwarded *metrics.Counter
+
+	// Speculative activate-ahead traffic, counted apart from demand so the
+	// reported row-hit rate stays honest.
+	aheadOpens  *metrics.Counter
+	aheadCloses *metrics.Counter
+
+	reorderDist *metrics.Histogram
+
+	// Posted-write buffer.
+	wbufDepth   *metrics.Gauge
+	wbufDrains  *metrics.Counter
+	wbufDrained *metrics.Counter
+}
+
+func newChanMetrics(reg *metrics.Registry, shard int) *chanMetrics {
+	return &chanMetrics{
+		reg:   reg,
+		shard: shard,
+
+		fences:           reg.Counter("memctrl_fences_total"),
+		fenceStall:       reg.Counter("memctrl_fence_stall_cycles_total"),
+		refreshes:        reg.Counter("memctrl_refresh_total"),
+		refreshPostponed: reg.Counter("memctrl_refresh_postponed_total"),
+		refreshDebt:      reg.Gauge("memctrl_refresh_debt"),
+
+		rowHits:   reg.Counter("memctrl_row_hits_total"),
+		rowMisses: reg.Counter("memctrl_row_misses_total"),
+		rowOpens:  reg.Counter("memctrl_row_opens_total"),
+		reordered: reg.Counter("memctrl_reordered_total"),
+		completed: reg.Counter("memctrl_completed_total"),
+		forwarded: reg.Counter("memctrl_forwarded_total"),
+
+		aheadOpens:  reg.Counter("memctrl_ahead_opens_total"),
+		aheadCloses: reg.Counter("memctrl_ahead_closes_total"),
+
+		reorderDist: reg.Histogram("memctrl_reorder_distance", metrics.ExpBuckets(1, 2, 6)),
+
+		wbufDepth:   reg.Gauge("memctrl_wbuf_depth"),
+		wbufDrains:  reg.Counter("memctrl_wbuf_drains_total"),
+		wbufDrained: reg.Counter("memctrl_wbuf_drained_writes_total"),
+	}
+}

@@ -46,15 +46,35 @@ type Scheduler struct {
 	writeBuf            bool
 	lowWater, highWater int
 	wqueue              []*Tx
-
-	// Stats.
-	RowHits   int64
-	RowMisses int64
-	RowOpens  int64
-	Reordered int64 // times a younger transaction bypassed an older one
-	Completed int64
-	Forwarded int64 // reads satisfied from the write buffer
 }
+
+// Demand-path stat accessors, reading this channel's shard of the metrics
+// registry (see Channel.UseMetrics). Speculative activate-ahead activity is
+// reported separately so these reflect the true demand row-hit rate.
+
+// RowHits returns serviced transactions that hit an open row.
+func (s *Scheduler) RowHits() int64 { return s.ch.m.rowHits.ShardValue(s.ch.m.shard) }
+
+// RowMisses returns serviced transactions that hit a conflicting open row.
+func (s *Scheduler) RowMisses() int64 { return s.ch.m.rowMisses.ShardValue(s.ch.m.shard) }
+
+// RowOpens returns serviced transactions that found their bank idle.
+func (s *Scheduler) RowOpens() int64 { return s.ch.m.rowOpens.ShardValue(s.ch.m.shard) }
+
+// Reordered returns how often a younger transaction bypassed an older one.
+func (s *Scheduler) Reordered() int64 { return s.ch.m.reordered.ShardValue(s.ch.m.shard) }
+
+// Completed returns the number of serviced transactions.
+func (s *Scheduler) Completed() int64 { return s.ch.m.completed.ShardValue(s.ch.m.shard) }
+
+// Forwarded returns reads satisfied from the write buffer.
+func (s *Scheduler) Forwarded() int64 { return s.ch.m.forwarded.ShardValue(s.ch.m.shard) }
+
+// AheadOpens returns speculative activates issued on idle banks.
+func (s *Scheduler) AheadOpens() int64 { return s.ch.m.aheadOpens.ShardValue(s.ch.m.shard) }
+
+// AheadCloses returns speculative early precharges of unwanted open rows.
+func (s *Scheduler) AheadCloses() int64 { return s.ch.m.aheadCloses.ShardValue(s.ch.m.shard) }
 
 // DefaultWindow matches a contemporary 32-entry per-channel queue.
 const DefaultWindow = 32
@@ -127,8 +147,10 @@ func (s *Scheduler) step() (*Tx, error) {
 	if pick < 0 {
 		pick = 0
 	}
+	m := s.ch.m
+	m.reorderDist.Observe(m.shard, int64(pick))
 	if pick > 0 {
-		s.Reordered++
+		m.reordered.Inc(m.shard)
 	}
 	tx := s.queue[pick]
 	s.queue = append(s.queue[:pick], s.queue[pick+1:]...)
@@ -140,15 +162,15 @@ func (s *Scheduler) step() (*Tx, error) {
 			copy(buf, data)
 			tx.Data = buf
 			tx.done = s.ch.Now()
-			s.Forwarded++
-			s.Completed++
+			m.forwarded.Inc(m.shard)
+			m.completed.Inc(m.shard)
 			return tx, nil
 		}
 	}
 	if err := s.service(tx); err != nil {
 		return nil, err
 	}
-	s.Completed++
+	m.completed.Inc(m.shard)
 	// The read is on its way; if the write buffer is at capacity, drain it
 	// now (behind the read, never in front of it).
 	if err := s.maybeDrain(); err != nil {
@@ -173,19 +195,20 @@ func (s *Scheduler) Idle(max int) error {
 // service opens the row if needed and issues the column command.
 func (s *Scheduler) service(tx *Tx) error {
 	l := tx.Loc
+	m := s.ch.m
 	row, open := s.ch.PCH().OpenRow(l.BG, l.Bank)
 	switch {
 	case open && row == l.Row:
-		s.RowHits++
+		m.rowHits.Inc(m.shard)
 	case open:
-		s.RowMisses++
+		m.rowMisses.Inc(m.shard)
 		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: l.BG, Bank: l.Bank}); err != nil {
 			return err
 		}
 		fallthrough
 	default:
 		if !open {
-			s.RowOpens++
+			m.rowOpens.Inc(m.shard)
 		}
 		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdACT, BG: l.BG, Bank: l.Bank, Row: l.Row}); err != nil {
 			return err
@@ -255,9 +278,12 @@ func (s *Scheduler) activateAhead(cur Loc) {
 			if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: l.BG, Bank: l.Bank}); err != nil {
 				return
 			}
-			s.RowMisses++
-		} else {
-			s.RowOpens++
+			// Speculative traffic: counted apart from the demand row-hit /
+			// miss counters so reported hit rates stay honest.
+			s.ch.m.aheadCloses.Inc(s.ch.m.shard)
+		}
+		if _, open := s.ch.PCH().OpenRow(l.BG, l.Bank); !open {
+			s.ch.m.aheadOpens.Inc(s.ch.m.shard)
 		}
 		// Best effort: tRRD/tFAW pressure just means the ACT lands a bit
 		// later; stop looking ahead on any failure.

@@ -1,5 +1,7 @@
 package memctrl
 
+import "fmt"
+
 // Posted-write support. Real controllers complete writes into a write
 // buffer immediately and drain them in batches, keeping the data bus in
 // read mode (reads are latency critical, writes are not) and amortizing
@@ -9,8 +11,14 @@ package memctrl
 
 // EnableWriteBuffer turns on posted writes with the given watermarks:
 // writes accumulate until high pending writes force a drain down to low.
-// It must be called while the queues are empty.
-func (s *Scheduler) EnableWriteBuffer(low, high int) {
+// It must be called while the queues are empty: enabling posted writes
+// with transactions in flight would retroactively reorder them, so that
+// case returns an error instead.
+func (s *Scheduler) EnableWriteBuffer(low, high int) error {
+	if len(s.queue) > 0 || len(s.wqueue) > 0 {
+		return fmt.Errorf("memctrl: EnableWriteBuffer with %d queued and %d buffered transactions pending",
+			len(s.queue), len(s.wqueue))
+	}
 	if low < 0 {
 		low = 0
 	}
@@ -19,6 +27,7 @@ func (s *Scheduler) EnableWriteBuffer(low, high int) {
 	}
 	s.writeBuf = true
 	s.lowWater, s.highWater = low, high
+	return nil
 }
 
 // enqueueWrite posts a write: it completes immediately from the host's
@@ -26,6 +35,7 @@ func (s *Scheduler) EnableWriteBuffer(low, high int) {
 func (s *Scheduler) enqueueWrite(tx *Tx) {
 	tx.done = s.ch.Now()
 	s.wqueue = append(s.wqueue, tx)
+	s.ch.m.wbufDepth.Set(s.ch.m.shard, int64(len(s.wqueue)))
 }
 
 // forward satisfies a read from the youngest buffered write to the same
@@ -42,6 +52,10 @@ func (s *Scheduler) forward(loc Loc) ([]byte, bool) {
 // drainWrites services buffered writes (oldest first, which FR-FCFS
 // row-hit picking then reorders) until at most `until` remain.
 func (s *Scheduler) drainWrites(until int) error {
+	m := s.ch.m
+	if len(s.wqueue) > until {
+		m.wbufDrains.Inc(m.shard)
+	}
 	for len(s.wqueue) > until {
 		// Row-hit first among the window, like the read path.
 		window := s.Window
@@ -58,10 +72,12 @@ func (s *Scheduler) drainWrites(until int) error {
 		}
 		tx := s.wqueue[pick]
 		s.wqueue = append(s.wqueue[:pick], s.wqueue[pick+1:]...)
+		m.wbufDepth.Set(m.shard, int64(len(s.wqueue)))
 		if err := s.service(tx); err != nil {
 			return err
 		}
-		s.Completed++
+		m.wbufDrained.Inc(m.shard)
+		m.completed.Inc(m.shard)
 	}
 	return nil
 }

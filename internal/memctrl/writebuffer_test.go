@@ -18,7 +18,9 @@ func TestWriteBufferImprovesReadLatency(t *testing.T) {
 		ch := NewChannel(hbm.MustNewDevice(cfg).PCH(0), cfg)
 		s := NewScheduler(ch, cfg)
 		if buffered {
-			s.EnableWriteBuffer(4, 16)
+			if err := s.EnableWriteBuffer(4, 16); err != nil {
+				t.Fatal(err)
+			}
 		}
 		rng := rand.New(rand.NewSource(17))
 		var reads []*Tx
@@ -70,7 +72,9 @@ func TestStoreToLoadForwarding(t *testing.T) {
 	cfg := hbm.HBM2Config(1000)
 	ch := NewChannel(hbm.MustNewDevice(cfg).PCH(0), cfg)
 	s := NewScheduler(ch, cfg)
-	s.EnableWriteBuffer(0, 64)
+	if err := s.EnableWriteBuffer(0, 64); err != nil {
+		t.Fatal(err)
+	}
 
 	payload := make([]byte, 32)
 	for i := range payload {
@@ -87,8 +91,8 @@ func TestStoreToLoadForwarding(t *testing.T) {
 			t.Fatalf("forwarded read byte %d = %x, want %x", i, rd.Data[i], payload[i])
 		}
 	}
-	if s.Forwarded != 1 {
-		t.Errorf("forwarded = %d", s.Forwarded)
+	if s.Forwarded() != 1 {
+		t.Errorf("forwarded = %d", s.Forwarded())
 	}
 
 	// And the write really landed in DRAM after the drain.
@@ -110,7 +114,9 @@ func TestWriteBufferWatermarks(t *testing.T) {
 	cfg.Functional = false
 	ch := NewChannel(hbm.MustNewDevice(cfg).PCH(0), cfg)
 	s := NewScheduler(ch, cfg)
-	s.EnableWriteBuffer(2, 8)
+	if err := s.EnableWriteBuffer(2, 8); err != nil {
+		t.Fatal(err)
+	}
 
 	for i := 0; i < 12; i++ {
 		s.Enqueue(true, Loc{BG: i % 4, Row: uint32(i), Col: 0}, nil)
@@ -134,8 +140,38 @@ func TestWriteBufferWatermarks(t *testing.T) {
 	}
 	// Degenerate watermarks are normalized.
 	s2 := NewScheduler(ch, cfg)
-	s2.EnableWriteBuffer(-3, -5)
+	if err := s2.EnableWriteBuffer(-3, -5); err != nil {
+		t.Fatal(err)
+	}
 	if s2.lowWater != 0 || s2.highWater != 1 {
 		t.Errorf("watermarks %d/%d", s2.lowWater, s2.highWater)
+	}
+}
+
+// TestEnableWriteBufferRejectsPending: enabling posted writes with
+// transactions already queued would retroactively reorder them, so the
+// call must fail instead of silently proceeding (regression: it used to
+// ignore its documented empty-queue precondition).
+func TestEnableWriteBufferRejectsPending(t *testing.T) {
+	cfg := hbm.HBM2Config(1000)
+	cfg.Functional = false
+	ch := NewChannel(hbm.MustNewDevice(cfg).PCH(0), cfg)
+
+	s := NewScheduler(ch, cfg)
+	s.Enqueue(false, Loc{BG: 0, Bank: 0, Row: 1, Col: 0}, nil)
+	if err := s.EnableWriteBuffer(2, 8); err == nil {
+		t.Error("EnableWriteBuffer accepted a non-empty read queue")
+	}
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableWriteBuffer(2, 8); err != nil {
+		t.Fatalf("EnableWriteBuffer on drained queue: %v", err)
+	}
+
+	// Buffered writes pending blocks re-tuning too.
+	s.Enqueue(true, Loc{BG: 0, Bank: 0, Row: 1, Col: 1}, nil)
+	if err := s.EnableWriteBuffer(1, 4); err == nil {
+		t.Error("EnableWriteBuffer accepted pending buffered writes")
 	}
 }

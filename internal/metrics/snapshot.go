@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a merged point-in-time copy of every metric in a registry.
+// Counters and histograms are cumulative, so two snapshots bracket an
+// interval: Diff gives the activity between them (the per-kernel breakdown
+// workflow of cmd/pimbench).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's merged state. Buckets are
+// non-cumulative; Buckets[i] counts observations <= Bounds[i] (and greater
+// than Bounds[i-1]); the final bucket is the +Inf overflow.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Counter returns a counter's value, or zero when absent — absent and
+// never-incremented are indistinguishable by design.
+func (s *Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge's value, or zero when absent.
+func (s *Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Diff returns the activity between prev and s: counters and histograms
+// are subtracted, gauges keep their current (instantaneous) value.
+// Metrics absent from prev diff against zero.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Buckets) != len(h.Buckets) {
+			out.Histograms[name] = h
+			continue
+		}
+		d := HistogramSnapshot{
+			Count:   h.Count - p.Count,
+			Sum:     h.Sum - p.Sum,
+			Bounds:  append([]int64(nil), h.Bounds...),
+			Buckets: make([]int64, len(h.Buckets)),
+		}
+		for i := range h.Buckets {
+			d.Buckets[i] = h.Buckets[i] - p.Buckets[i]
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format. Label suffixes baked into metric names (`name{k="v"}`) are
+// passed through; TYPE comments are emitted once per base name.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	emitType := func(name, kind string) error {
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base = name[:i]
+		}
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		if err := emitType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := emitType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		if err := emitType(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

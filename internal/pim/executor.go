@@ -12,6 +12,7 @@ import (
 type Executor struct {
 	units        []*Unit
 	banksPerUnit int
+	triggers     int64
 }
 
 // NewExecutor builds the execution layer for a PIM device configuration.
@@ -76,6 +77,7 @@ func (e *Executor) RegisterRead(unit int, space hbm.RegSpace, col uint32, buf []
 // Trigger implements hbm.PIMExecutor: one column command advances every
 // unit by one command slot.
 func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
+	e.triggers++
 	var info hbm.TriggerInfo
 	for i, u := range e.units {
 		sc := &stepContext{
@@ -125,4 +127,30 @@ func (e *Executor) AllDone() bool {
 		}
 	}
 	return true
+}
+
+// Triggers returns how many AB-PIM column commands reached this executor.
+func (e *Executor) Triggers() int64 { return e.triggers }
+
+// OpCounts returns instructions retired per opcode, summed over units.
+func (e *Executor) OpCounts() map[isa.Opcode]int64 {
+	out := make(map[isa.Opcode]int64)
+	for _, u := range e.units {
+		for op, n := range u.opRetired {
+			if n > 0 {
+				out[isa.Opcode(op)] += n
+			}
+		}
+	}
+	return out
+}
+
+// AAMInstructions returns retired address-aligned-mode instructions,
+// summed over units.
+func (e *Executor) AAMInstructions() int64 {
+	var t int64
+	for _, u := range e.units {
+		t += u.aamRetired
+	}
+	return t
 }

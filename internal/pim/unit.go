@@ -32,6 +32,9 @@ type Unit struct {
 	done     bool
 
 	grfEntries int // 8, or 16 for the 2x DSE variant
+
+	opRetired  [16]int64 // instructions retired, indexed by isa.Opcode
+	aamRetired int64     // of which address-aligned (AAM) instructions
 }
 
 // newUnit builds a unit with the given GRF depth per half.
@@ -122,6 +125,7 @@ func (u *Unit) step(ctx *stepContext) (stepCounts, error) {
 		case isa.JUMP:
 			// Zero-cycle: pre-decoded at fetch, consumes no command slot.
 			c.instrs++
+			u.opRetired[isa.JUMP]++
 			left, seen := u.jumpLeft[u.ppc]
 			if !seen {
 				left = int(in.Imm0)
@@ -136,16 +140,22 @@ func (u *Unit) step(ctx *stepContext) (stepCounts, error) {
 			continue
 		case isa.EXIT:
 			c.instrs++
+			u.opRetired[isa.EXIT]++
 			u.done = true
 			return c, nil
 		case isa.NOP:
 			c.instrs++
+			u.opRetired[isa.NOP]++
 			u.nopLeft = int(in.Imm0)
 			u.ppc++
 			return c, nil
 		}
 		// Data or arithmetic: consumes the command slot.
 		c.instrs++
+		u.opRetired[in.Op]++
+		if in.AAM {
+			u.aamRetired++
+		}
 		if in.Op.IsArith() {
 			c.arith++
 		} else {
@@ -183,6 +193,7 @@ func (u *Unit) resolveControl() (int, error) {
 		switch in.Op {
 		case isa.JUMP:
 			instrs++
+			u.opRetired[isa.JUMP]++
 			left, seen := u.jumpLeft[u.ppc]
 			if !seen {
 				left = int(in.Imm0)
@@ -196,6 +207,7 @@ func (u *Unit) resolveControl() (int, error) {
 			}
 		case isa.EXIT:
 			instrs++
+			u.opRetired[isa.EXIT]++
 			u.done = true
 			return instrs, nil
 		default:

@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"fmt"
+
+	"pimsim/internal/hbm"
+	"pimsim/internal/metrics"
+)
+
+// phaseMetrics are the runtime's kernel-phase counters: what a kernel's
+// command stream was spent on (mode transitions, register programming,
+// trigger streams). Each phase records both its op count and its cycle
+// cost, so Snapshot.Diff around a kernel yields its phase breakdown.
+type phaseMetrics struct {
+	modeTransitions     *metrics.Counter
+	modeTransitionCycle *metrics.Counter
+	crfPrograms         *metrics.Counter
+	crfProgramCycle     *metrics.Counter
+	srfPrograms         *metrics.Counter
+	srfProgramCycle     *metrics.Counter
+	grfZeros            *metrics.Counter
+	grfZeroCycle        *metrics.Counter
+	triggers            *metrics.Counter
+	triggerCycle        *metrics.Counter
+}
+
+func newPhaseMetrics(reg *metrics.Registry) *phaseMetrics {
+	return &phaseMetrics{
+		modeTransitions:     reg.Counter("runtime_mode_transitions_total"),
+		modeTransitionCycle: reg.Counter("runtime_mode_transition_cycles_total"),
+		crfPrograms:         reg.Counter("runtime_crf_programs_total"),
+		crfProgramCycle:     reg.Counter("runtime_crf_program_cycles_total"),
+		srfPrograms:         reg.Counter("runtime_srf_programs_total"),
+		srfProgramCycle:     reg.Counter("runtime_srf_program_cycles_total"),
+		grfZeros:            reg.Counter("runtime_grf_zeros_total"),
+		grfZeroCycle:        reg.Counter("runtime_grf_zero_cycles_total"),
+		triggers:            reg.Counter("runtime_triggers_total"),
+		triggerCycle:        reg.Counter("runtime_trigger_cycles_total"),
+	}
+}
+
+// notePhase records one phase operation and the cycles the channel clock
+// advanced during it. The shard is the channel's own (parent numbering),
+// so restricted multi-tenant views stay race free under ParallelKernels.
+func (r *Runtime) notePhase(ch int, count, cycles *metrics.Counter, start int64) {
+	shard := r.Chans[ch].MetricsShard()
+	count.Inc(shard)
+	cycles.Add(shard, r.Chans[ch].Now()-start)
+}
+
+// collectDeviceMetrics bridges the hbm device counters and the PIM
+// executors into a snapshot. It reads foreign state without
+// synchronization, so it is only accurate while kernels are quiescent
+// (after ForEachChannel returns, which is a happens-before edge).
+func (r *Runtime) collectDeviceMetrics(emit func(name string, value int64)) {
+	for i, c := range r.Chans {
+		p := c.PCH()
+		st := p.Stats()
+		emit("hbm_act_total", st.ACT+st.ABACT)
+		emit("hbm_pre_total", st.PRE+st.ABPRE)
+		emit("hbm_rd_total", st.RD+st.ABRD)
+		emit("hbm_wr_total", st.WR+st.ABWR)
+		emit("hbm_ref_total", st.REF)
+		emit("hbm_mode_switches_total", st.ModeSwitches)
+		emit("hbm_offchip_bytes_total", st.OffChipBytes)
+		emit("hbm_bank_reads_total", st.BankReads)
+		emit("hbm_bank_writes_total", st.BankWrites)
+
+		for bank, ops := range p.BankOps() {
+			emit(fmt.Sprintf(`hbm_bank_act_total{bank="%d"}`, bank), ops.ACT)
+			emit(fmt.Sprintf(`hbm_bank_rd_total{bank="%d"}`, bank), ops.RD)
+			emit(fmt.Sprintf(`hbm_bank_wr_total{bank="%d"}`, bank), ops.WR)
+		}
+		res := p.ModeResidency(c.Now())
+		for mode, cycles := range res {
+			emit(fmt.Sprintf("hbm_mode_cycles_total{mode=%q}", hbm.Mode(mode)), cycles)
+		}
+
+		e := r.Execs[i]
+		emit("pim_triggers_total", e.Triggers())
+		emit("pim_aam_instr_total", e.AAMInstructions())
+		for op, n := range e.OpCounts() {
+			emit(fmt.Sprintf("pim_instr_total{op=%q}", op.String()), n)
+		}
+	}
+}

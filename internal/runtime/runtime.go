@@ -14,6 +14,7 @@ import (
 	"pimsim/internal/hbm"
 	"pimsim/internal/isa"
 	"pimsim/internal/memctrl"
+	"pimsim/internal/metrics"
 	"pimsim/internal/pim"
 )
 
@@ -25,6 +26,13 @@ type Runtime struct {
 	Chans []*memctrl.Channel
 	Execs []*pim.Executor
 	Drv   *driver.Driver
+
+	// Metrics is the system-wide registry: one shard per channel, shared
+	// by the memctrl layer, the runtime's phase counters, and snapshot-time
+	// collectors bridging the hbm device and PIM executor counters.
+	// Restricted views (multi-tenancy) share the parent's registry.
+	Metrics *metrics.Registry
+	pm      *phaseMetrics
 
 	// SimChannels, when positive and the device is timing-only, limits
 	// kernel command-stream generation to the first n channels. Channel 0
@@ -105,6 +113,15 @@ func New(devs []*hbm.Device) (*Runtime, error) {
 		return nil, err
 	}
 	r.Drv = drv
+
+	// One registry shard per channel: kernels under ParallelKernels write
+	// contention free, and per-channel deltas stay separable.
+	r.Metrics = metrics.New(len(r.Chans))
+	for i, c := range r.Chans {
+		c.UseMetrics(r.Metrics, i)
+	}
+	r.pm = newPhaseMetrics(r.Metrics)
+	r.Metrics.RegisterCollector(r.collectDeviceMetrics)
 	return r, nil
 }
 
@@ -122,24 +139,33 @@ func (r *Runtime) issue(ch int, cmd hbm.Command) (hbm.IssueResult, error) {
 
 // EnterAB performs the ABMR handshake on a channel.
 func (r *Runtime) EnterAB(ch int) error {
+	start := r.Chans[ch].Now()
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hbm.ABMRBank, Row: r.Cfg.ModeRow()}); err != nil {
 		return err
 	}
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	return nil
 }
 
 // ExitToSB performs the SBMR handshake (all banks must be precharged).
 func (r *Runtime) ExitToSB(ch int) error {
+	start := r.Chans[ch].Now()
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hbm.SBMRBank, Row: r.Cfg.ModeRow()}); err != nil {
 		return err
 	}
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.SBMRBank})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.SBMRBank}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	return nil
 }
 
 // SetPIMMode writes PIM_OP_MODE through the mode row.
 func (r *Runtime) SetPIMMode(ch int, on bool) error {
+	start := r.Chans[ch].Now()
 	data := make([]byte, r.Cfg.AccessBytes)
 	if on {
 		data[0] = 1
@@ -150,13 +176,22 @@ func (r *Runtime) SetPIMMode(ch int, on bool) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, BG: 0, Bank: hbm.ABMRBank, Col: hbm.ColPIMOpMode, Data: data}); err != nil {
 		return err
 	}
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	return nil
 }
 
 // ProgramCRF broadcasts a microkernel into every unit of a channel. The
-// channel must be in AB mode with all banks precharged.
+// channel must be in AB mode with all banks precharged. Programs longer
+// than the CRF are rejected up front.
 func (r *Runtime) ProgramCRF(ch int, prog []isa.Instruction) error {
+	if len(prog) > isa.CRFEntries {
+		return fmt.Errorf("runtime: program of %d instructions overflows the %d-entry CRF",
+			len(prog), isa.CRFEntries)
+	}
+	start := r.Chans[ch].Now()
 	words, err := isa.EncodeProgram(prog)
 	if err != nil {
 		return err
@@ -174,13 +209,23 @@ func (r *Runtime) ProgramCRF(ch int, prog []isa.Instruction) error {
 			return err
 		}
 	}
-	_, err = r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.crfPrograms, r.pm.crfProgramCycle, start)
+	return nil
 }
 
 // ProgramSRF broadcasts the scalar registers: m fills SRF_M[0..7], a fills
-// SRF_A[0..7]. AB mode, banks precharged.
+// SRF_A[0..7]. AB mode, banks precharged. Slices longer than the register
+// file are rejected — the old behaviour of silently truncating them hid
+// kernels computing with scalars that never arrived.
 func (r *Runtime) ProgramSRF(ch int, m, a []fp16.F16) error {
+	if len(m) > isa.SRFEntries || len(a) > isa.SRFEntries {
+		return fmt.Errorf("runtime: SRF payload %d/%d scalars overflows the %d-entry halves",
+			len(m), len(a), isa.SRFEntries)
+	}
+	start := r.Chans[ch].Now()
 	v := fp16.NewVector(2 * isa.SRFEntries)
 	copy(v[:isa.SRFEntries], m)
 	copy(v[isa.SRFEntries:], a)
@@ -190,13 +235,17 @@ func (r *Runtime) ProgramSRF(ch int, m, a []fp16.F16) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Col: 0, Data: v.Bytes()}); err != nil {
 		return err
 	}
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.srfPrograms, r.pm.srfProgramCycle, start)
+	return nil
 }
 
 // ZeroGRF broadcasts zeros into GRF_B[0..7] of every unit (accumulator
 // reset between macro passes). AB mode, banks precharged.
 func (r *Runtime) ZeroGRF(ch int) error {
+	start := r.Chans[ch].Now()
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdACT, Row: r.Cfg.GRFRow()}); err != nil {
 		return err
 	}
@@ -206,8 +255,11 @@ func (r *Runtime) ZeroGRF(ch int) error {
 			return err
 		}
 	}
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA})
-	return err
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.grfZeros, r.pm.grfZeroCycle, start)
+	return nil
 }
 
 // OpenRow broadcast-activates a row on a channel (AB/AB-PIM modes).
@@ -225,15 +277,23 @@ func (r *Runtime) CloseRows(ch int) error {
 // TriggerRD issues a PIM-triggering column read. bankSel 0 drives the
 // even banks, 1 the odd banks.
 func (r *Runtime) TriggerRD(ch, bankSel int, col uint32) error {
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, Bank: bankSel, Col: col})
-	return err
+	start := r.Chans[ch].Now()
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, Bank: bankSel, Col: col}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.triggers, r.pm.triggerCycle, start)
+	return nil
 }
 
 // TriggerWR issues a PIM-triggering column write carrying data on the
 // write datapath.
 func (r *Runtime) TriggerWR(ch, bankSel int, col uint32, data []byte) error {
-	_, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Bank: bankSel, Col: col, Data: data})
-	return err
+	start := r.Chans[ch].Now()
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Bank: bankSel, Col: col, Data: data}); err != nil {
+		return err
+	}
+	r.notePhase(ch, r.pm.triggers, r.pm.triggerCycle, start)
+	return nil
 }
 
 // Fence orders the preceding commands (one AAM window boundary).

@@ -354,8 +354,7 @@ func TestProgramSRFOverlong(t *testing.T) {
 	if err := rt.EnterAB(0); err != nil {
 		t.Fatal(err)
 	}
-	// Extra scalars beyond the SRF depth are simply not copied; 8 each is
-	// the contract and shorter slices zero-fill.
+	// Shorter slices zero-fill; 8 each is the contract.
 	m := make([]fp16.F16, 3)
 	m[0] = fp16.One
 	if err := rt.ProgramSRF(0, m, nil); err != nil {
@@ -366,6 +365,40 @@ func TestProgramSRFOverlong(t *testing.T) {
 	}
 	if rt.Execs[0].Unit(0).SRF(1, 7) != fp16.Zero {
 		t.Error("unwritten SRF_A not zero")
+	}
+	// Oversized slices are an error, not a silent truncation (regression:
+	// copy used to drop scalars past the SRF depth without telling anyone).
+	over := make([]fp16.F16, isa.SRFEntries+1)
+	if err := rt.ProgramSRF(0, over, nil); err == nil {
+		t.Error("oversized SRF_M slice accepted")
+	}
+	if err := rt.ProgramSRF(0, nil, over); err == nil {
+		t.Error("oversized SRF_A slice accepted")
+	}
+	// The channel must be untouched by the rejected call: a kernel can
+	// still program a legal payload afterwards.
+	if err := rt.ProgramSRF(0, m, m); err != nil {
+		t.Fatalf("legal SRF program after rejection: %v", err)
+	}
+}
+
+// TestProgramCRFOverflow: a program longer than the CRF is rejected before
+// any command is issued.
+func TestProgramCRFOverflow(t *testing.T) {
+	rt := newRT(t, 1)
+	if err := rt.EnterAB(0); err != nil {
+		t.Fatal(err)
+	}
+	prog := make([]isa.Instruction, isa.CRFEntries+1)
+	for i := range prog {
+		prog[i] = isa.Instruction{Op: isa.NOP}
+	}
+	before := rt.Chans[0].Now()
+	if err := rt.ProgramCRF(0, prog); err == nil {
+		t.Error("oversized CRF program accepted")
+	}
+	if rt.Chans[0].Now() != before {
+		t.Error("rejected CRF program still issued commands")
 	}
 }
 

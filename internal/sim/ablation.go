@@ -263,7 +263,9 @@ func AblateWriteBuffer() ([]AblationPoint, error) {
 		ch := memctrl.NewChannel(dev.PCH(0), cfg)
 		s := memctrl.NewScheduler(ch, cfg)
 		if buffered {
-			s.EnableWriteBuffer(4, 16)
+			if err := s.EnableWriteBuffer(4, 16); err != nil {
+				return 0, err
+			}
 		}
 		var state uint64
 		next := func() uint64 {

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"pimsim/internal/hbm"
@@ -84,7 +85,10 @@ func (r *Recorder) Dump(w io.Writer) error {
 
 // Parse reads a text trace. Lines starting with '#' and blank lines are
 // skipped. The cycle column is advisory on replay (commands re-time
-// against the device model); it must still parse.
+// against the device model); it must still parse. Each line must consist
+// of exactly the seven fields of the format — trailing tokens are a
+// malformed line, not ignorable noise (a truncated or column-shifted
+// trace would otherwise replay with silently wrong addresses).
 func Parse(rd io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(rd)
@@ -95,21 +99,59 @@ func Parse(rd io.Reader) ([]Event, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		var e Event
-		var kind string
-		n, err := fmt.Sscanf(line, "%d %d %s %d %d %d %d",
-			&e.Cycle, &e.Channel, &kind, &e.BG, &e.Bank, &e.Row, &e.Col)
-		if err != nil || n != 7 {
-			return nil, fmt.Errorf("trace: line %d: %q", lineno, line)
+		fields := strings.Fields(line)
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 7 (\"cycle ch CMD bg bank row col\"): %q",
+				lineno, len(fields), line)
 		}
-		k, ok := parseKind(kind)
+		var e Event
+		var err error
+		if e.Cycle, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: cycle: %v", lineno, err)
+		}
+		if e.Channel, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: channel: %v", lineno, err)
+		}
+		k, ok := parseKind(fields[2])
 		if !ok {
-			return nil, fmt.Errorf("trace: line %d: unknown command %q", lineno, kind)
+			return nil, fmt.Errorf("trace: line %d: unknown command %q", lineno, fields[2])
 		}
 		e.Kind = k
+		if e.BG, err = strconv.Atoi(fields[3]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bank group: %v", lineno, err)
+		}
+		if e.Bank, err = strconv.Atoi(fields[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: bank: %v", lineno, err)
+		}
+		row, err := strconv.ParseUint(fields[5], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: row: %v", lineno, err)
+		}
+		e.Row = uint32(row)
+		col, err := strconv.ParseUint(fields[6], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: column: %v", lineno, err)
+		}
+		e.Col = uint32(col)
 		out = append(out, e)
 	}
 	return out, sc.Err()
+}
+
+// Validate checks every event's channel and addresses against a device
+// geometry before replay, so a bad trace fails with the offending line's
+// index instead of erroring deep inside the channel model mid-replay.
+func Validate(events []Event, cfg hbm.Config, channels int) error {
+	for i, e := range events {
+		if e.Channel < 0 || e.Channel >= channels {
+			return fmt.Errorf("trace: event %d (%s): channel %d out of range (%d channels)",
+				i, e, e.Channel, channels)
+		}
+		if err := cfg.CheckCommand(e.Command()); err != nil {
+			return fmt.Errorf("trace: event %d (%s): %w", i, e, err)
+		}
+	}
+	return nil
 }
 
 func parseKind(s string) (hbm.CmdKind, bool) {

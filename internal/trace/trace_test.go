@@ -90,9 +90,42 @@ func TestParseErrors(t *testing.T) {
 		"10 0 FROB 0 0 0 0",
 		"not a line",
 		"10 0 RD 0 0",
+		// Trailing tokens are malformed, not ignorable (regression: Sscanf
+		// used to stop at the 7th field and silently accept the rest).
+		"10 0 RD 0 0 0 3 99",
+		"10 0 RD 0 0 0 3 trailing junk",
+		// Non-numeric address fields.
+		"10 0 RD 0 0 x 3",
+		"10 0 RD 0 0 0 -1",
 	} {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
 			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := hbm.HBM2Config(1000)
+	good := []Event{
+		{Kind: hbm.CmdACT, Channel: 0, BG: 0, Bank: 0, Row: 5},
+		{Kind: hbm.CmdRD, Channel: 1, BG: 0, Bank: 0, Col: 3},
+	}
+	if err := Validate(good, cfg, 2); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		ev   Event
+	}{
+		{"channel", Event{Kind: hbm.CmdRD, Channel: 2}},
+		{"bank group", Event{Kind: hbm.CmdRD, BG: cfg.BankGroups}},
+		{"bank", Event{Kind: hbm.CmdRD, Bank: cfg.BanksPerGroup}},
+		{"row", Event{Kind: hbm.CmdACT, Row: uint32(cfg.Rows)}},
+		{"column", Event{Kind: hbm.CmdRD, Col: uint32(cfg.ColumnsPerRow())}},
+	}
+	for _, tc := range bad {
+		if err := Validate([]Event{tc.ev}, cfg, 2); err == nil {
+			t.Errorf("out-of-range %s accepted", tc.name)
 		}
 	}
 }
