@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench measures the simulator's own hot paths (not simulated performance)
+# and records ns/op, MB/s and allocs/op in BENCH_gemv.json. The README's
+# "Simulator performance" table is regenerated from this file.
+bench:
+	$(GO) test -run '^$$' -bench 'Gemv$$' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_gemv.json

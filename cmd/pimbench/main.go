@@ -33,12 +33,27 @@ import (
 	"pimsim/internal/macmodel"
 	"pimsim/internal/models"
 	"pimsim/internal/pim"
+	"pimsim/internal/prof"
 	"pimsim/internal/sim"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1..6, fig10..14, fences, encoder, all)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+	}()
 
 	runners := []struct {
 		name string

@@ -19,6 +19,7 @@ import (
 	"pimsim/internal/energy"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
+	"pimsim/internal/prof"
 	"pimsim/internal/runtime"
 	"pimsim/internal/trace"
 )
@@ -38,7 +39,19 @@ func main() {
 	dumpCRF := flag.Bool("dump-crf", false, "disassemble unit 0's CRF after the kernel")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	variant, ok := map[string]hbm.Variant{
 		"base": hbm.VariantBase, "2x": hbm.Variant2X,

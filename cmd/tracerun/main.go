@@ -70,6 +70,7 @@ func runTxn(f *os.File, dev *hbm.Device, cfg hbm.Config) {
 		chans[i].ChannelID = i
 		chans[i].UseMetrics(reg, i)
 		scheds[i] = memctrl.NewScheduler(chans[i], cfg)
+		scheds[i].AutoRelease = true // trace replay discards transaction results
 	}
 
 	var reads, writes int64

@@ -1,0 +1,182 @@
+package pimsim
+
+// Determinism goldens. The simulator is a model of a synchronous JEDEC
+// device: given a configuration and a command stream, every cycle count,
+// every stat, and (in functional mode) every output bit is fully
+// determined. Performance work on the simulator must therefore be
+// invisible in its outputs — these tests pin full runs against values
+// captured from the pre-optimization implementation, so any change that
+// alters a simulated cycle or a numeric result fails loudly instead of
+// silently drifting the reproduced paper figures.
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/memctrl"
+	"pimsim/internal/runtime"
+)
+
+// TestGoldenFunctionalGemv runs a bit-exact GEMV through the device model
+// and checks the output vector hash, kernel timing, and the full command
+// census against the recorded golden run.
+func TestGoldenFunctionalGemv(t *testing.T) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.PseudoChannels = 2
+	cfg.Functional = true
+	const M, K = 256, 512
+	W := fp16.NewVector(M * K)
+	x := fp16.NewVector(K)
+	for i := range W {
+		W[i] = fp16.FromFloat32(float32(i%13) * 0.1)
+	}
+	for i := range x {
+		x[i] = fp16.FromFloat32(float32(i%7) * 0.2)
+	}
+	dev := hbm.MustNewDevice(cfg)
+	rt, err := runtime.New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, ks, err := blas.PimGemv(rt, W, M, K, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, v := range y {
+		h.Write([]byte{byte(v), byte(v >> 8)})
+	}
+	if got, want := h.Sum64(), uint64(0xe8f7a69c9c990aad); got != want {
+		t.Errorf("output vector hash = %#x, want %#x", got, want)
+	}
+	if ks.Cycles != 11486 || ks.Triggers != 2048 || ks.Fences != 256 {
+		t.Errorf("kernel stats = cycles %d triggers %d fences %d, want 11486/2048/256",
+			ks.Cycles, ks.Triggers, ks.Fences)
+	}
+	st := dev.Stats()
+	golden := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"PIMInstr", st.PIMInstr, 33808},
+		{"PIMArith", st.PIMArith, 8192},
+		{"BankReads", st.BankReads, 8192},
+		{"BankWrites", st.BankWrites, 8192},
+		{"ACT", st.ACT, 152},
+		{"ABACT", st.ABACT, 24},
+		{"ABRD", st.ABRD, 1024},
+		{"ABWR", st.ABWR, 1058},
+		{"RD", st.RD, 128},
+		{"WR", st.WR, 8196},
+		{"REF", st.REF, 4},
+		{"OffChipBytes", st.OffChipBytes, 299136},
+		{"ModeSwitches", st.ModeSwitches, 8},
+		{"RegWrites", st.RegWrites, 272},
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("device stat %s = %d, want %d", g.name, g.got, g.want)
+		}
+	}
+}
+
+// TestGoldenTimingOnlyGemv pins the event-driven fast path used by the
+// experiment sweeps: a large timing-only GEMV with single-channel
+// simulation plus stat extrapolation.
+func TestGoldenTimingOnlyGemv(t *testing.T) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.Functional = false
+	dev := hbm.MustNewDevice(cfg)
+	rt, err := runtime.New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SimChannels = 1
+	_, ks, err := blas.PimGemv(rt, nil, 4096, 8192, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Cycles != 349267 || ks.Triggers != 32768 || ks.Fences != 4096 {
+		t.Errorf("kernel stats = cycles %d triggers %d fences %d, want 349267/32768/4096",
+			ks.Cycles, ks.Triggers, ks.Fences)
+	}
+	st := dev.Stats()
+	if st.PIMInstr != 540800 || st.ABACT != 334 || st.ABRD != 16384 || st.ABWR != 16418 || st.REF != 74 {
+		t.Errorf("device stats = PIMInstr %d ABACT %d ABRD %d ABWR %d REF %d, want 540800/334/16384/16418/74",
+			st.PIMInstr, st.ABACT, st.ABRD, st.ABWR, st.REF)
+	}
+}
+
+// TestGoldenSchedulerReplay drives the FR-FCFS scheduler with a fixed
+// splitmix64 pseudo-random access stream and pins the end cycle plus
+// every scheduling decision counter (hits, misses, reorders, speculative
+// activates, refreshes).
+func TestGoldenSchedulerReplay(t *testing.T) {
+	cfg := hbm.HBM2Config(1200)
+	cfg.Functional = false
+	dev := hbm.MustNewDevice(cfg)
+	ch := memctrl.NewChannel(dev.PCH(0), cfg)
+	s := memctrl.NewScheduler(ch, cfg)
+	am := memctrl.NewAddrMap(16, cfg.BankGroups, cfg.BanksPerGroup,
+		cfg.Rows, cfg.ColumnsPerRow(), cfg.AccessBytes)
+	var state uint64
+	next := func() uint64 { // splitmix64: avalanched, reproducible
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		return z ^ z>>31
+	}
+	var end int64
+	for i := 0; i < 4096; i++ {
+		addr := (next() % am.Capacity()) &^ 31
+		loc, err := am.Decode(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc.Channel = 0
+		s.Enqueue(next()%4 == 0, loc, nil)
+		if i%64 == 63 {
+			e, err := s.Drain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			end = e
+		}
+	}
+	e, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > end {
+		end = e
+	}
+	if end != 115138 {
+		t.Errorf("end cycle = %d, want 115138", end)
+	}
+	golden := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"completed", s.Completed(), 4096},
+		{"rowHits", s.RowHits(), 4029},
+		{"rowMisses", s.RowMisses(), 66},
+		{"rowOpens", s.RowOpens(), 1},
+		{"reordered", s.Reordered(), 206},
+		{"aheadOpens", s.AheadOpens(), 4027},
+		{"aheadCloses", s.AheadCloses(), 4012},
+		{"refreshes", ch.Refreshes(), 8},
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("scheduler stat %s = %d, want %d", g.name, g.got, g.want)
+		}
+	}
+}

@@ -97,6 +97,14 @@ func (p *gemvPlan) layoutWeights(rt *runtime.Runtime, W fp16.Vector) error {
 	banksPerUnit := rt.Cfg.Banks() / rt.Cfg.PIMUnits
 	cols := make([]uint32, 0, rt.Cfg.ColumnsPerRow())
 	data := make([][]byte, 0, rt.Cfg.ColumnsPerRow())
+	// Reusable payload buffers: WriteBankRowSB copies into bank storage, so
+	// the entries pending between flushes (at most one row's worth) can
+	// share one set of buffers instead of allocating two objects per column.
+	bufs := make([][]byte, rt.Cfg.ColumnsPerRow())
+	for i := range bufs {
+		bufs[i] = make([]byte, 2*p.lanes)
+	}
+	vec := fp16.NewVector(p.lanes)
 	for ch := 0; ch < p.C; ch++ {
 		for u := 0; u < p.U; u++ {
 			evenBank := u * banksPerUnit
@@ -126,17 +134,19 @@ func (p *gemvPlan) layoutWeights(rt *runtime.Runtime, W fp16.Vector) error {
 					for i := 0; i < p.G; i++ {
 						_, col := p.passRowCol(m, pass, i)
 						k := pass*p.G + i
-						vec := fp16.NewVector(p.lanes)
-						if k < p.K {
-							for lane := 0; lane < p.lanes; lane++ {
-								o := b*p.lanes + lane
-								if o < p.M {
-									vec[lane] = W[o*p.K+k]
+						for lane := 0; lane < p.lanes; lane++ {
+							var w fp16.F16
+							if k < p.K {
+								if o := b*p.lanes + lane; o < p.M {
+									w = W[o*p.K+k]
 								}
 							}
+							vec[lane] = w
 						}
+						buf := bufs[len(data)]
+						vec.PutBytes(buf)
 						cols = append(cols, col)
-						data = append(data, vec.Bytes())
+						data = append(data, buf)
 					}
 				}
 				if err := flush(); err != nil {

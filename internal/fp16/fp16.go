@@ -38,10 +38,14 @@ const (
 	expBias  = 15
 )
 
-// FromFloat32 converts a float32 to binary16 with round-to-nearest-even.
-// Overflow produces an infinity; underflow produces a (possibly zero)
-// subnormal. NaN payloads are quieted.
-func FromFloat32(f float32) F16 {
+// fromFloat32Ref is the branchy reference conversion to binary16 with
+// round-to-nearest-even. Overflow produces an infinity; underflow produces
+// a (possibly zero) subnormal. NaN payloads are quieted.
+//
+// The exported FromFloat32 (lut.go) is the table-driven fast path; this
+// function is kept as the oracle that the tables are built from and
+// exhaustively checked against in tests.
+func fromFloat32Ref(f float32) F16 {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & signMask
 	exp := int32(b>>23) & 0xFF
@@ -104,9 +108,10 @@ func roundShift(v uint64, s uint32) uint64 {
 	return q
 }
 
-// Float32 converts a binary16 value to float32 exactly (binary16 is a
-// subset of binary32).
-func (h F16) Float32() float32 {
+// float32Ref is the branchy reference widening to float32 (exact: binary16
+// is a subset of binary32). The exported Float32 (lut.go) serves the same
+// values from a table built by this function at init.
+func (h F16) float32Ref() float32 {
 	sign := uint32(h&signMask) << 16
 	exp := uint32(h&expMask) >> expShift
 	frac := uint32(h & fracMask)

@@ -1,0 +1,91 @@
+package fp16
+
+import "math"
+
+// Table-driven conversions. The simulator converts between binary16 and
+// float32 on every lane of every ALU operation, so these two functions
+// dominate the functional-mode profile. Both are exact replacements for
+// the branchy reference implementations in fp16.go:
+//
+//   - F16 -> float32 is a single load from a 65,536-entry table built at
+//     init by float32Ref, so it is bit-identical by construction.
+//   - float32 -> F16 uses a 512-entry table indexed by the float32 sign and
+//     exponent bits (Fabian Giesen's float-to-half trick): each exponent
+//     class maps to a base bit pattern plus a right-shift applied to the
+//     24-bit significand with round-to-nearest-even. Only the Inf/NaN
+//     class stays on a branch because its result depends on the fraction
+//     payload, not just the exponent.
+//
+// The equivalence of both paths with the reference is enforced by an
+// exhaustive 2^16 test plus a directed float32 sweep in fp16_test.go.
+
+// f16to32 holds float32(h) for every binary16 bit pattern (256 KiB).
+var f16to32 [1 << 16]float32
+
+// f32to16base/f32to16shift are indexed by the top 9 bits of a float32
+// (sign + biased exponent). The conversion of a finite float32 b is
+//
+//	base[se] + roundShift(significand(b), shift[se])
+//
+// where significand includes the hidden bit. Overflow-to-infinity on
+// rounding works out arithmetically: in the largest normal class the base
+// plus a carried-out significand lands exactly on the infinity encoding.
+var (
+	f32to16base  [512]uint16
+	f32to16shift [512]uint8
+)
+
+func init() {
+	for i := range f16to32 {
+		f16to32[i] = F16(i).float32Ref()
+	}
+	for se := 0; se < 512; se++ {
+		sign := uint16(se>>8) << 15
+		e := int32(se&0xFF) - 127 // unbiased float32 exponent
+		switch {
+		case se&0xFF == 0 || e < -25:
+			// Signed zero, float32 subnormals (< 2^-126) and deep underflow
+			// all round to signed zero: shifting the significand past its
+			// round bit leaves nothing.
+			f32to16base[se] = sign
+			f32to16shift[se] = 26
+		case e > 15:
+			// Overflow to infinity (also covers the Inf/NaN exponent class,
+			// which FromFloat32 handles on a branch before the table).
+			f32to16base[se] = sign | expMask
+			f32to16shift[se] = 26
+		case e >= -14:
+			// Normal binary16 range: shift out 13 significand bits and fold
+			// the hidden bit into the exponent field by pre-subtracting it.
+			f32to16base[se] = sign | (uint16(e+expBias) << expShift) - (1 << expShift)
+			f32to16shift[se] = 13
+		default:
+			// Subnormal binary16 range, e in [-25, -15]: denormalize by
+			// shifting (-14 - e) extra bits; the base is just the sign.
+			f32to16base[se] = sign
+			f32to16shift[se] = uint8(13 + (-14 - e))
+		}
+	}
+}
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even.
+// Overflow produces an infinity; underflow produces a (possibly zero)
+// subnormal. NaN payloads are quieted. Bit-identical to fromFloat32Ref.
+func FromFloat32(f float32) F16 {
+	b := math.Float32bits(f)
+	se := b >> 23 // sign + exponent, 9 bits
+	if se&0xFF == 0xFF {
+		// Inf or NaN: the result depends on the fraction payload.
+		sign := uint16(b>>16) & signMask
+		if frac := b & 0x7FFFFF; frac != 0 {
+			return F16(sign | expMask | 0x0200 | uint16(frac>>13)&fracMask)
+		}
+		return F16(sign | expMask)
+	}
+	sig := uint64(b&0x7FFFFF | 0x800000)
+	return F16(f32to16base[se] + uint16(roundShift(sig, uint32(f32to16shift[se]))))
+}
+
+// Float32 converts a binary16 value to float32 exactly (binary16 is a
+// subset of binary32). Served from a table built at init by float32Ref.
+func (h F16) Float32() float32 { return f16to32[h] }

@@ -105,7 +105,15 @@ func (v Vector) PutBytes(b []byte) {
 // elements).
 func VectorFromBytes(b []byte) Vector {
 	v := make(Vector, len(b)/2)
-	for i := range v {
+	return v.DecodeBytes(b)
+}
+
+// DecodeBytes fills v in place from little-endian 16-bit lanes in b,
+// decoding min(len(v), len(b)/2) elements, and returns v. It is the
+// allocation-free counterpart of VectorFromBytes for reusable buffers.
+func (v Vector) DecodeBytes(b []byte) Vector {
+	n := min(len(v), len(b)/2)
+	for i := 0; i < n; i++ {
 		v[i] = F16(binary.LittleEndian.Uint16(b[2*i:]))
 	}
 	return v

@@ -1,0 +1,30 @@
+package hbm
+
+import "testing"
+
+// TestIssueColumnZeroAlloc pins the steady-state column path: once a
+// row's functional storage exists, SB-mode RD and WR must not allocate.
+// RD results live in per-pseudo-channel scratch (see IssueResult.Data),
+// so a cycle-level loop issuing millions of column commands runs
+// allocation free.
+func TestIssueColumnZeroAlloc(t *testing.T) {
+	cfg := PIMHBMConfig(1200)
+	cfg.Functional = true
+	s := newTestPCH(t, cfg)
+	buf := make([]byte, cfg.AccessBytes)
+
+	s.issue(Command{Kind: CmdACT, BG: 0, Bank: 0, Row: 3})
+	// First touch lazily allocates the row and its ECC parity storage.
+	s.issue(Command{Kind: CmdWR, BG: 0, Bank: 0, Col: 0, Data: buf})
+	s.issue(Command{Kind: CmdWR, BG: 0, Bank: 0, Col: 1, Data: buf})
+	s.issue(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0})
+
+	rd := Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0}
+	wr := Command{Kind: CmdWR, BG: 0, Bank: 0, Col: 1, Data: buf}
+	if avg := testing.AllocsPerRun(200, func() {
+		s.issue(rd)
+		s.issue(wr)
+	}); avg != 0 {
+		t.Errorf("SB column RD+WR allocates %v objects per pair, want 0", avg)
+	}
+}

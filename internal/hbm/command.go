@@ -60,6 +60,11 @@ func (c Command) String() string {
 }
 
 // IssueResult reports what a command did.
+//
+// Data aliases a per-pseudo-channel scratch buffer and is only valid until
+// the next Issue on the same pseudo channel; callers that retain read data
+// across commands must copy it first. This keeps the column hot path free
+// of per-command allocation.
 type IssueResult struct {
 	Cycle    int64  // the cycle the command issued at
 	Data     []byte // data returned by an SB-mode RD (functional mode)

@@ -153,6 +153,17 @@ type PseudoChannel struct {
 	// mode-switch command issue cycles.
 	modeSince  int64
 	modeCycles [3]int64
+
+	// Reusable scratch so the column-command hot path allocates nothing.
+	// colBuf backs IssueResult.Data (valid only until the next Issue, see
+	// the IssueResult contract); regBuf absorbs register reads from units
+	// beyond the first, whose data never reaches the I/O mux; allBanks is
+	// the 0..Banks-1 index slice broadcast register accesses iterate;
+	// oneBank holds the single index of a single-bank register access.
+	colBuf   []byte
+	regBuf   []byte
+	allBanks []int
+	oneBank  [1]int
 }
 
 // BankOps counts the commands one bank observed: its demand profile for
@@ -173,6 +184,12 @@ func newPCH(cfg *Config) *PseudoChannel {
 		rdAllowedL:  make([]int64, cfg.BankGroups),
 		rrdAllowedL: make([]int64, cfg.BankGroups),
 		bankOps:     make([]BankOps, cfg.Banks()),
+		colBuf:      make([]byte, cfg.AccessBytes),
+		regBuf:      make([]byte, cfg.AccessBytes),
+		allBanks:    make([]int, cfg.Banks()),
+	}
+	for i := range p.allBanks {
+		p.allBanks[i] = i
 	}
 	// Seed the four-activate window in the distant past so the first four
 	// ACTs are unconstrained.
@@ -493,18 +510,18 @@ func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult
 	}
 
 	if space, ok := p.cfg.confSpace(b.openRow); ok {
-		return p.registerAccess(cmd, res, space, []int{idx})
+		p.oneBank[0] = idx
+		return p.registerAccess(cmd, res, space, p.oneBank[:])
 	}
 
 	// Normal array access.
 	if cmd.Kind == CmdRD {
 		p.stats.BankReads++
 		if p.cfg.Functional {
-			buf := make([]byte, p.cfg.AccessBytes)
-			if err := p.bankReadData(b, cmd.Col, buf); err != nil {
+			if err := p.bankReadData(b, cmd.Col, p.colBuf); err != nil {
 				return res, err
 			}
-			res.Data = buf
+			res.Data = p.colBuf
 		}
 		return res, nil
 	}
@@ -536,11 +553,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 
 	// Register space: broadcast to every PIM unit.
 	if space, ok := p.cfg.confSpace(openRow); ok {
-		all := make([]int, p.cfg.Banks())
-		for i := range all {
-			all[i] = i
-		}
-		return p.registerAccess(cmd, res, space, all)
+		return p.registerAccess(cmd, res, space, p.allBanks)
 	}
 
 	if p.mode == ModeABPIM {
@@ -589,11 +602,10 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 	}
 	p.stats.BankReads += int64(len(p.banks))
 	if p.cfg.Functional {
-		buf := make([]byte, p.cfg.AccessBytes)
-		if err := p.bankReadData(&p.banks[0], cmd.Col, buf); err != nil {
+		if err := p.bankReadData(&p.banks[0], cmd.Col, p.colBuf); err != nil {
 			return res, err
 		}
-		res.Data = buf
+		res.Data = p.colBuf
 	}
 	return res, nil
 }
@@ -606,20 +618,21 @@ func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSp
 		}
 		// Other mode-row accesses read back zero / are ignored.
 		if cmd.Kind == CmdRD && p.cfg.Functional {
-			res.Data = make([]byte, p.cfg.AccessBytes)
+			clear(p.colBuf)
+			res.Data = p.colBuf
 		}
 		return res, nil
 	}
 	if p.cfg.PIMUnits == 0 || p.exec == nil {
 		return res, fmt.Errorf("hbm: PIM register access on a device without PIM units")
 	}
-	seen := make(map[int]bool)
+	var seen uint64 // unit-visited bitmask; PIMUnits <= Banks <= 64
 	for _, idx := range bankIdxs {
 		u := p.unitFor(idx)
-		if seen[u] {
+		if seen&(1<<u) != 0 {
 			continue
 		}
-		seen[u] = true
+		seen |= 1 << u
 		switch cmd.Kind {
 		case CmdWR:
 			p.stats.RegWrites++
@@ -627,12 +640,17 @@ func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSp
 				return res, err
 			}
 		case CmdRD:
-			buf := make([]byte, p.cfg.AccessBytes)
+			// Every unit drives its read, but only the first one's data
+			// reaches the I/O mux; later units land in discard scratch.
+			buf := p.colBuf
+			if res.Data != nil {
+				buf = p.regBuf
+			}
 			if err := p.exec.RegisterRead(u, space, cmd.Col, buf); err != nil {
 				return res, err
 			}
 			if res.Data == nil {
-				res.Data = buf // a broadcast read returns the first unit's data
+				res.Data = buf
 			}
 		}
 	}

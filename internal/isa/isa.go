@@ -30,22 +30,32 @@ const (
 	MAD Opcode = 0xB // dst = src0 * src1 + SRF_A[src1#]
 )
 
-var opcodeNames = map[Opcode]string{
+// NumOpcodes bounds the 4-bit opcode space; arrays indexed by Opcode (such
+// as per-opcode retire counters) use it as their length.
+const NumOpcodes = 16
+
+// opcodeNames is indexed by opcode; empty entries are undefined encodings.
+var opcodeNames = [NumOpcodes]string{
 	NOP: "NOP", JUMP: "JUMP", EXIT: "EXIT",
 	MOV: "MOV", FILL: "FILL",
 	ADD: "ADD", MUL: "MUL", MAC: "MAC", MAD: "MAD",
 }
 
+// validOpcodes has bit o set when Opcode o is defined. A constant bitmask
+// keeps Valid — which sits on the decode hot path — free of map lookups.
+const validOpcodes = 1<<NOP | 1<<JUMP | 1<<EXIT | 1<<MOV | 1<<FILL |
+	1<<ADD | 1<<MUL | 1<<MAC | 1<<MAD
+
 // String returns the mnemonic.
 func (o Opcode) String() string {
-	if s, ok := opcodeNames[o]; ok {
-		return s
+	if o.Valid() {
+		return opcodeNames[o]
 	}
 	return fmt.Sprintf("OP(%d)", uint8(o))
 }
 
 // Valid reports whether o is one of the nine defined opcodes.
-func (o Opcode) Valid() bool { _, ok := opcodeNames[o]; return ok }
+func (o Opcode) Valid() bool { return o < NumOpcodes && validOpcodes&(1<<o) != 0 }
 
 // IsControl reports whether o is a flow-control instruction.
 func (o Opcode) IsControl() bool { return o == NOP || o == JUMP || o == EXIT }

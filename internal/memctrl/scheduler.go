@@ -16,6 +16,12 @@ type Tx struct {
 	enqueued int64 // cycle the transaction entered the queue
 	issued   int64 // column command issue cycle
 	done     int64 // data completion cycle
+
+	// buf is transaction-owned storage for read results: device read data
+	// lives in pseudo-channel scratch that the next command reuses, so it
+	// is copied here (Data then aliases buf). Reused across free-list
+	// recycles.
+	buf []byte
 }
 
 // Done returns the cycle the transaction's data finished transferring.
@@ -39,13 +45,20 @@ type Scheduler struct {
 	// serviced transaction (0 disables the overlap; the ablation knob).
 	AheadDepth int
 
-	queue  []*Tx
+	// AutoRelease, when set, makes Drain/Idle/FlushWrites return every
+	// transaction they complete to the free list for reuse. Only enable it
+	// for streams that discard Enqueue's result: a released Tx (and its
+	// Data) is recycled by a later Enqueue.
+	AutoRelease bool
+
+	queue  txRing
 	nextID int64
+	free   []*Tx // recycled transactions (see Release)
 
 	// Posted-write state (see writebuffer.go).
 	writeBuf            bool
 	lowWater, highWater int
-	wqueue              []*Tx
+	wqueue              txRing
 }
 
 // Demand-path stat accessors, reading this channel's shard of the metrics
@@ -87,30 +100,57 @@ func NewScheduler(ch *Channel, cfg hbm.Config) *Scheduler {
 // Enqueue adds a transaction to the queue and returns it. With the write
 // buffer enabled, writes post immediately and drain later.
 func (s *Scheduler) Enqueue(write bool, loc Loc, data []byte) *Tx {
-	tx := &Tx{Write: write, Loc: loc, Data: data, id: s.nextID, enqueued: s.ch.Now()}
+	tx := s.alloc()
+	tx.Write, tx.Loc, tx.Data = write, loc, data
+	tx.id, tx.enqueued = s.nextID, s.ch.Now()
 	s.nextID++
 	if write && s.writeBuf {
 		s.enqueueWrite(tx)
 	} else {
-		s.queue = append(s.queue, tx)
+		s.queue.push(tx)
 	}
 	return tx
 }
 
+// alloc takes a transaction from the free list, or allocates one.
+func (s *Scheduler) alloc() *Tx {
+	if n := len(s.free); n > 0 {
+		tx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return tx
+	}
+	return &Tx{}
+}
+
+// Release returns a completed transaction to the scheduler's free list so
+// a later Enqueue reuses it instead of allocating. The caller must be done
+// with the Tx and its Data. Callers that retain transactions simply never
+// release them; see also AutoRelease for fire-and-forget streams.
+func (s *Scheduler) Release(tx *Tx) {
+	if tx == nil {
+		return
+	}
+	*tx = Tx{buf: tx.buf[:0]}
+	s.free = append(s.free, tx)
+}
+
 // Pending returns the number of queued transactions.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return s.queue.len() }
 
 // Drain services the whole queue (including buffered writes) and returns
 // the cycle at which the last data transfer completes.
 func (s *Scheduler) Drain() (int64, error) {
 	var last int64
-	for len(s.queue) > 0 {
+	for s.queue.len() > 0 {
 		tx, err := s.step()
 		if err != nil {
 			return 0, err
 		}
 		if tx.done > last {
 			last = tx.done
+		}
+		if s.AutoRelease {
+			s.Release(tx)
 		}
 	}
 	if err := s.FlushWrites(); err != nil {
@@ -124,21 +164,21 @@ func (s *Scheduler) Drain() (int64, error) {
 
 // step picks and services one transaction.
 func (s *Scheduler) step() (*Tx, error) {
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 {
 		return nil, fmt.Errorf("memctrl: step on empty queue")
 	}
 	window := s.Window
 	if window < 1 {
 		window = 1
 	}
-	if window > len(s.queue) {
-		window = len(s.queue)
+	if window > s.queue.len() {
+		window = s.queue.len()
 	}
 
 	// First ready: the oldest row hit in the window; else the oldest.
 	pick := -1
 	for i := 0; i < window; i++ {
-		tx := s.queue[i]
+		tx := s.queue.at(i)
 		if row, open := s.ch.PCH().OpenRow(tx.Loc.BG, tx.Loc.Bank); open && row == tx.Loc.Row {
 			pick = i
 			break
@@ -152,15 +192,13 @@ func (s *Scheduler) step() (*Tx, error) {
 	if pick > 0 {
 		m.reordered.Inc(m.shard)
 	}
-	tx := s.queue[pick]
-	s.queue = append(s.queue[:pick], s.queue[pick+1:]...)
+	tx := s.queue.removeAt(pick)
 	// Store-to-load forwarding: a read covered by a buffered write never
 	// touches DRAM.
 	if !tx.Write {
 		if data, ok := s.forward(tx.Loc); ok {
-			buf := make([]byte, len(data))
-			copy(buf, data)
-			tx.Data = buf
+			tx.buf = append(tx.buf[:0], data...)
+			tx.Data = tx.buf
 			tx.done = s.ch.Now()
 			m.forwarded.Inc(m.shard)
 			m.completed.Inc(m.shard)
@@ -182,10 +220,10 @@ func (s *Scheduler) step() (*Tx, error) {
 // Idle lets the controller use a quiet period: it drains up to max
 // buffered writes while no reads are pending.
 func (s *Scheduler) Idle(max int) error {
-	if !s.writeBuf || len(s.queue) > 0 {
+	if !s.writeBuf || s.queue.len() > 0 {
 		return nil
 	}
-	target := len(s.wqueue) - max
+	target := s.wqueue.len() - max
 	if target < 0 {
 		target = 0
 	}
@@ -231,7 +269,14 @@ func (s *Scheduler) service(tx *Tx) error {
 	lat := s.cfg.Timing.WL
 	if !tx.Write {
 		lat = s.cfg.Timing.RL
-		tx.Data = res.Data
+		if res.Data == nil {
+			tx.Data = nil // timing-only mode moves no data
+		} else {
+			// res.Data is pseudo-channel scratch (valid until the next
+			// command); copy into transaction-owned storage.
+			tx.buf = append(tx.buf[:0], res.Data...)
+			tx.Data = tx.buf
+		}
 	}
 	tx.done = res.Cycle + int64(lat+s.cfg.Timing.DataCycles())
 	return nil
@@ -244,19 +289,21 @@ func (s *Scheduler) service(tx *Tx) error {
 // still wants it — so no row hit FR-FCFS would have served is sacrificed.
 func (s *Scheduler) activateAhead(cur Loc) {
 	window := s.Window
-	if window > len(s.queue) {
-		window = len(s.queue)
+	if window > s.queue.len() {
+		window = s.queue.len()
 	}
-	type bankKey struct{ bg, bank int }
-	seen := map[bankKey]bool{{cur.BG, cur.Bank}: true}
+	// Visited-bank bitmask over flat bank indices (Banks <= 64 on every
+	// supported geometry).
+	bankBit := func(bg, bank int) uint64 { return 1 << uint(bg*s.cfg.BanksPerGroup+bank) }
+	seen := bankBit(cur.BG, cur.Bank)
 	opened := 0
 	for i := 0; i < window && opened < s.AheadDepth; i++ {
-		l := s.queue[i].Loc
-		key := bankKey{l.BG, l.Bank}
-		if seen[key] {
+		l := s.queue.at(i).Loc
+		bit := bankBit(l.BG, l.Bank)
+		if seen&bit != 0 {
 			continue
 		}
-		seen[key] = true
+		seen |= bit
 		row, open := s.ch.PCH().OpenRow(l.BG, l.Bank)
 		if open && row == l.Row {
 			continue // already a hit
@@ -266,7 +313,7 @@ func (s *Scheduler) activateAhead(cur Loc) {
 			// wants the open row.
 			wanted := false
 			for j := 0; j < window; j++ {
-				q := s.queue[j].Loc
+				q := s.queue.at(j).Loc
 				if q.BG == l.BG && q.Bank == l.Bank && q.Row == row {
 					wanted = true
 					break

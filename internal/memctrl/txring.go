@@ -1,0 +1,55 @@
+package memctrl
+
+// txRing is a FIFO of transaction pointers backed by a power-of-two
+// circular buffer. FR-FCFS only inspects (and removes from) a bounded
+// window at the head of the queue, so removing the i-th oldest entry
+// shifts at most i pointers toward the head — bounded by the scheduler
+// window — instead of copy-compacting the whole tail the way
+// append(q[:i], q[i+1:]...) does. Steady-state push/pop never allocates;
+// the buffer only doubles when full.
+type txRing struct {
+	buf  []*Tx // len(buf) is always a power of two (or zero)
+	head int
+	n    int
+}
+
+func (r *txRing) len() int { return r.n }
+
+// at returns the i-th oldest entry, 0 <= i < n.
+func (r *txRing) at(i int) *Tx { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *txRing) set(i int, tx *Tx) { r.buf[(r.head+i)&(len(r.buf)-1)] = tx }
+
+// push appends tx at the tail.
+func (r *txRing) push(tx *Tx) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = tx
+	r.n++
+}
+
+// removeAt removes and returns the i-th oldest entry, preserving the order
+// of the rest by shifting entries younger than the head side up one slot.
+func (r *txRing) removeAt(i int) *Tx {
+	tx := r.at(i)
+	for j := i; j > 0; j-- {
+		r.set(j, r.at(j-1))
+	}
+	r.buf[r.head] = nil // drop the reference so the GC/free list owns it
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return tx
+}
+
+func (r *txRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 64
+	}
+	nb := make([]*Tx, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}

@@ -15,9 +15,9 @@ import "fmt"
 // with transactions in flight would retroactively reorder them, so that
 // case returns an error instead.
 func (s *Scheduler) EnableWriteBuffer(low, high int) error {
-	if len(s.queue) > 0 || len(s.wqueue) > 0 {
+	if s.queue.len() > 0 || s.wqueue.len() > 0 {
 		return fmt.Errorf("memctrl: EnableWriteBuffer with %d queued and %d buffered transactions pending",
-			len(s.queue), len(s.wqueue))
+			s.queue.len(), s.wqueue.len())
 	}
 	if low < 0 {
 		low = 0
@@ -34,16 +34,16 @@ func (s *Scheduler) EnableWriteBuffer(low, high int) error {
 // perspective at the current cycle.
 func (s *Scheduler) enqueueWrite(tx *Tx) {
 	tx.done = s.ch.Now()
-	s.wqueue = append(s.wqueue, tx)
-	s.ch.m.wbufDepth.Set(s.ch.m.shard, int64(len(s.wqueue)))
+	s.wqueue.push(tx)
+	s.ch.m.wbufDepth.Set(s.ch.m.shard, int64(s.wqueue.len()))
 }
 
 // forward satisfies a read from the youngest buffered write to the same
 // location, if any.
 func (s *Scheduler) forward(loc Loc) ([]byte, bool) {
-	for i := len(s.wqueue) - 1; i >= 0; i-- {
-		if s.wqueue[i].Loc == loc {
-			return s.wqueue[i].Data, true
+	for i := s.wqueue.len() - 1; i >= 0; i-- {
+		if tx := s.wqueue.at(i); tx.Loc == loc {
+			return tx.Data, true
 		}
 	}
 	return nil, false
@@ -53,38 +53,40 @@ func (s *Scheduler) forward(loc Loc) ([]byte, bool) {
 // row-hit picking then reorders) until at most `until` remain.
 func (s *Scheduler) drainWrites(until int) error {
 	m := s.ch.m
-	if len(s.wqueue) > until {
+	if s.wqueue.len() > until {
 		m.wbufDrains.Inc(m.shard)
 	}
-	for len(s.wqueue) > until {
+	for s.wqueue.len() > until {
 		// Row-hit first among the window, like the read path.
 		window := s.Window
-		if window > len(s.wqueue) {
-			window = len(s.wqueue)
+		if window > s.wqueue.len() {
+			window = s.wqueue.len()
 		}
 		pick := 0
 		for i := 0; i < window; i++ {
-			l := s.wqueue[i].Loc
+			l := s.wqueue.at(i).Loc
 			if row, open := s.ch.PCH().OpenRow(l.BG, l.Bank); open && row == l.Row {
 				pick = i
 				break
 			}
 		}
-		tx := s.wqueue[pick]
-		s.wqueue = append(s.wqueue[:pick], s.wqueue[pick+1:]...)
-		m.wbufDepth.Set(m.shard, int64(len(s.wqueue)))
+		tx := s.wqueue.removeAt(pick)
+		m.wbufDepth.Set(m.shard, int64(s.wqueue.len()))
 		if err := s.service(tx); err != nil {
 			return err
 		}
 		m.wbufDrained.Inc(m.shard)
 		m.completed.Inc(m.shard)
+		if s.AutoRelease {
+			s.Release(tx)
+		}
 	}
 	return nil
 }
 
 // maybeDrain enforces the high watermark.
 func (s *Scheduler) maybeDrain() error {
-	if !s.writeBuf || len(s.wqueue) < s.highWater {
+	if !s.writeBuf || s.wqueue.len() < s.highWater {
 		return nil
 	}
 	return s.drainWrites(s.lowWater)
@@ -101,4 +103,4 @@ func (s *Scheduler) FlushWrites() error {
 }
 
 // PendingWrites returns the buffered write count.
-func (s *Scheduler) PendingWrites() int { return len(s.wqueue) }
+func (s *Scheduler) PendingWrites() int { return s.wqueue.len() }

@@ -79,20 +79,20 @@ func (e *Executor) RegisterRead(unit int, space hbm.RegSpace, col uint32, buf []
 func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
 	e.triggers++
 	var info hbm.TriggerInfo
+	sc := stepContext{
+		kind:       ctx.Kind,
+		bankSel:    ctx.BankSel,
+		row:        ctx.Row,
+		col:        ctx.Col,
+		wrData:     ctx.WrData,
+		access:     ctx.Access,
+		variant:    ctx.Variant,
+		functional: ctx.Functional,
+	}
 	for i, u := range e.units {
-		sc := &stepContext{
-			kind:       ctx.Kind,
-			bankSel:    ctx.BankSel,
-			row:        ctx.Row,
-			col:        ctx.Col,
-			wrData:     ctx.WrData,
-			access:     ctx.Access,
-			variant:    ctx.Variant,
-			functional: ctx.Functional,
-			evenBank:   i * e.banksPerUnit,
-			oddBank:    i*e.banksPerUnit + e.banksPerUnit - 1,
-		}
-		c, err := u.step(sc)
+		sc.evenBank = i * e.banksPerUnit
+		sc.oddBank = i*e.banksPerUnit + e.banksPerUnit - 1
+		c, err := u.step(&sc)
 		info.Instructions += c.instrs
 		info.Arithmetic += c.arith
 		info.DataMoves += c.moves
@@ -132,14 +132,28 @@ func (e *Executor) AllDone() bool {
 // Triggers returns how many AB-PIM column commands reached this executor.
 func (e *Executor) Triggers() int64 { return e.triggers }
 
-// OpCounts returns instructions retired per opcode, summed over units.
-func (e *Executor) OpCounts() map[isa.Opcode]int64 {
-	out := make(map[isa.Opcode]int64)
+// OpCountsArray returns instructions retired per opcode, summed over
+// units, indexed by isa.Opcode. It allocates nothing and is the accessor
+// repeated callers (metrics scrapes, single-opcode queries) should use.
+func (e *Executor) OpCountsArray() [isa.NumOpcodes]int64 {
+	var out [isa.NumOpcodes]int64
 	for _, u := range e.units {
 		for op, n := range u.opRetired {
-			if n > 0 {
-				out[isa.Opcode(op)] += n
-			}
+			out[op] += n
+		}
+	}
+	return out
+}
+
+// OpCounts returns instructions retired per opcode, summed over units, as
+// a map — the reporting-boundary form. Hot paths should prefer
+// OpCountsArray, which does not allocate.
+func (e *Executor) OpCounts() map[isa.Opcode]int64 {
+	arr := e.OpCountsArray()
+	out := make(map[isa.Opcode]int64)
+	for op, n := range arr {
+		if n > 0 {
+			out[isa.Opcode(op)] = n
 		}
 	}
 	return out

@@ -110,8 +110,9 @@ func (d *driver) readBankSB(flatBank int, row, col uint32) []byte {
 	bg, b := flatBank/d.cfg.BanksPerGroup, flatBank%d.cfg.BanksPerGroup
 	d.issue(hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: b, Row: row})
 	res := d.issue(hbm.Command{Kind: hbm.CmdRD, BG: bg, Bank: b, Col: col})
+	data := append([]byte(nil), res.Data...) // res.Data is pCH scratch
 	d.issue(hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b})
-	return res.Data
+	return data
 }
 
 func splat(v fp16.F16) []byte {

@@ -26,15 +26,34 @@ type Unit struct {
 	grfA, grfB []fp16.Vector // vector registers, one 16-lane vector each
 	srfM, srfA []fp16.F16    // scalar registers
 
-	ppc      int         // PIM program counter
-	nopLeft  int         // remaining idle command slots of a multi-cycle NOP
-	jumpLeft map[int]int // per-CRF-slot remaining JUMP iterations
-	done     bool
+	ppc       int                      // PIM program counter
+	nopLeft   int                      // remaining idle command slots of a multi-cycle NOP
+	jumpLeft  [isa.CRFEntries]int32    // per-CRF-slot remaining JUMP iterations
+	jumpArmed [isa.CRFEntries]bool     // whether jumpLeft holds a live count for the slot
+	done      bool
+
+	// Decode cache: the unit re-fetches the same 32-slot microkernel once
+	// per trigger, so decoding from the raw CRF word on every fetch
+	// dominates the timing-only profile. Entries are invalidated when the
+	// covering CRF slots are written.
+	decoded [isa.CRFEntries]isa.Instruction
+	decErr  [isa.CRFEntries]error
+	decOK   [isa.CRFEntries]bool
 
 	grfEntries int // 8, or 16 for the 2x DSE variant
 
-	opRetired  [16]int64 // instructions retired, indexed by isa.Opcode
-	aamRetired int64     // of which address-aligned (AAM) instructions
+	opRetired  [isa.NumOpcodes]int64 // instructions retired, indexed by isa.Opcode
+	aamRetired int64                 // of which address-aligned (AAM) instructions
+
+	// Operand-staging scratch, reused across instructions so the hot path
+	// performs no allocation. The ISA guarantees at most one bank operand
+	// and one scalar broadcast per instruction, so one buffer of each kind
+	// suffices; contents are dead once the instruction retires.
+	bankBuf []byte      // bank read burst (2*Lanes bytes)
+	bankVec fp16.Vector // decoded bank operand
+	srfVec  fp16.Vector // broadcast scalar operand
+	tmpVec  fp16.Vector // ReLU staging and register-space marshalling
+	outBuf  []byte      // bank write burst (2*Lanes bytes)
 }
 
 // newUnit builds a unit with the given GRF depth per half.
@@ -48,6 +67,11 @@ func newUnit(grfEntries int) *Unit {
 	}
 	u.srfM = make([]fp16.F16, isa.SRFEntries)
 	u.srfA = make([]fp16.F16, isa.SRFEntries)
+	u.bankBuf = make([]byte, 2*fp16.Lanes)
+	u.bankVec = fp16.NewVector(fp16.Lanes)
+	u.srfVec = fp16.NewVector(fp16.Lanes)
+	u.tmpVec = fp16.NewVector(fp16.Lanes)
+	u.outBuf = make([]byte, 2*fp16.Lanes)
 	u.resetPPC()
 	return u
 }
@@ -55,8 +79,19 @@ func newUnit(grfEntries int) *Unit {
 func (u *Unit) resetPPC() {
 	u.ppc = 0
 	u.nopLeft = 0
-	u.jumpLeft = make(map[int]int)
+	u.jumpLeft = [isa.CRFEntries]int32{}
+	u.jumpArmed = [isa.CRFEntries]bool{}
 	u.done = false
+}
+
+// fetchSlot returns the cached decode of CRF slot i, decoding on first use
+// after the slot was written.
+func (u *Unit) fetchSlot(i int) (isa.Instruction, error) {
+	if !u.decOK[i] {
+		u.decoded[i], u.decErr[i] = isa.Decode(u.crf[i])
+		u.decOK[i] = true
+	}
+	return u.decoded[i], u.decErr[i]
 }
 
 // GRF returns a copy of a vector register (half 0 = GRF_A, 1 = GRF_B).
@@ -117,7 +152,7 @@ func (u *Unit) step(ctx *stepContext) (stepCounts, error) {
 		if u.ppc < 0 || u.ppc >= isa.CRFEntries {
 			return c, fmt.Errorf("pim: PPC %d out of CRF range", u.ppc)
 		}
-		in, derr := isa.Decode(u.crf[u.ppc])
+		in, derr := u.fetchSlot(u.ppc)
 		if derr != nil {
 			return c, fmt.Errorf("pim: CRF[%d]: %w", u.ppc, derr)
 		}
@@ -126,15 +161,16 @@ func (u *Unit) step(ctx *stepContext) (stepCounts, error) {
 			// Zero-cycle: pre-decoded at fetch, consumes no command slot.
 			c.instrs++
 			u.opRetired[isa.JUMP]++
-			left, seen := u.jumpLeft[u.ppc]
-			if !seen {
-				left = int(in.Imm0)
+			left := int32(in.Imm0)
+			if u.jumpArmed[u.ppc] {
+				left = u.jumpLeft[u.ppc]
 			}
 			if left > 0 {
+				u.jumpArmed[u.ppc] = true
 				u.jumpLeft[u.ppc] = left - 1
 				u.ppc -= int(in.Imm1)
 			} else {
-				delete(u.jumpLeft, u.ppc) // rearm for a future pass
+				u.jumpArmed[u.ppc] = false // rearm for a future pass
 				u.ppc++
 			}
 			continue
@@ -186,7 +222,7 @@ func (u *Unit) resolveControl() (int, error) {
 		if u.ppc < 0 || u.ppc >= isa.CRFEntries {
 			return instrs, fmt.Errorf("pim: PPC %d out of CRF range", u.ppc)
 		}
-		in, err := isa.Decode(u.crf[u.ppc])
+		in, err := u.fetchSlot(u.ppc)
 		if err != nil {
 			return instrs, fmt.Errorf("pim: CRF[%d]: %w", u.ppc, err)
 		}
@@ -194,15 +230,16 @@ func (u *Unit) resolveControl() (int, error) {
 		case isa.JUMP:
 			instrs++
 			u.opRetired[isa.JUMP]++
-			left, seen := u.jumpLeft[u.ppc]
-			if !seen {
-				left = int(in.Imm0)
+			left := int32(in.Imm0)
+			if u.jumpArmed[u.ppc] {
+				left = u.jumpLeft[u.ppc]
 			}
 			if left > 0 {
+				u.jumpArmed[u.ppc] = true
 				u.jumpLeft[u.ppc] = left - 1
 				u.ppc -= int(in.Imm1)
 			} else {
-				delete(u.jumpLeft, u.ppc)
+				u.jumpArmed[u.ppc] = false
 				u.ppc++
 			}
 		case isa.EXIT:
@@ -259,7 +296,7 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 	// loads the vector operand and executes the arithmetic (Fig. 14).
 	if in.Op.IsArith() && ctx.variant == hbm.VariantSRW && ctx.kind == hbm.CmdWR &&
 		in.Src0.IsGRF() && ctx.functional && len(ctx.wrData) >= 2*fp16.Lanes {
-		copy(u.grf(in.Src0)[s0Idx], fp16.VectorFromBytes(ctx.wrData[:2*fp16.Lanes]))
+		u.grf(in.Src0)[s0Idx].DecodeBytes(ctx.wrData[:2*fp16.Lanes])
 	}
 
 	// Operand fetch. Only data-movement instructions may capture the write
@@ -276,9 +313,9 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 		case s.IsBank():
 			return u.readBank(s, ctx, allowCapture)
 		case s == isa.SRFM:
-			return broadcast(u.srfM[idx%isa.SRFEntries]), nil
+			return u.broadcast(u.srfM[idx%isa.SRFEntries]), nil
 		default: // SRF_A
-			return broadcast(u.srfA[idx%isa.SRFEntries]), nil
+			return u.broadcast(u.srfA[idx%isa.SRFEntries]), nil
 		}
 	}
 
@@ -290,8 +327,10 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 				return fmt.Errorf("pim: MOV to bank triggered by %s, needs WR", ctx.kind)
 			}
 			src := u.grf(in.Src0)[s0Idx]
-			if in.ReLU {
-				src = fp16.ReLUVec(fp16.NewVector(fp16.Lanes), src)
+			if in.ReLU && ctx.functional {
+				// Staging only matters when data is modeled; timing-only
+				// stores pass no payload either way.
+				src = fp16.ReLUVec(u.tmpVec, src)
 			}
 			return u.writeBank(in.Dst, ctx, src)
 		}
@@ -353,10 +392,11 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 		fp16.MACVec(dst, a, b)
 	case isa.MAD:
 		// dst = a*b + SRF_A[s1Idx] (the addend shares SRC1's index in a
-		// different register file, Section III-C).
-		addend := broadcast(u.srfA[s1Idx%isa.SRFEntries])
+		// different register file, Section III-C). The scalar feeds every
+		// lane directly; no broadcast staging needed.
+		addend := u.srfA[s1Idx%isa.SRFEntries]
 		for i := range dst {
-			dst[i] = fp16.MAD(a[i], b[i], addend[i])
+			dst[i] = fp16.MAD(a[i], b[i], addend)
 		}
 	}
 	return nil
@@ -368,25 +408,29 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 // — "the host processor pushes 256 bits to the write drivers or PIM
 // registers" (Section III-A) — which is how input vectors are loaded into
 // the GRF between compute bursts.
+// The returned vector is the unit's reusable staging buffer: it is valid
+// until the next operand fetch and must be consumed (copied or combined
+// into a register) before then, which every instruction does.
 func (u *Unit) readBank(s isa.Src, ctx *stepContext, allowCapture bool) (fp16.Vector, error) {
 	if allowCapture && ctx.kind == hbm.CmdWR {
 		if !ctx.functional || len(ctx.wrData) < 2*fp16.Lanes {
-			return fp16.NewVector(fp16.Lanes), nil
+			clear(u.bankVec)
+			return u.bankVec, nil
 		}
-		return fp16.VectorFromBytes(ctx.wrData[:2*fp16.Lanes]), nil
+		return u.bankVec.DecodeBytes(ctx.wrData[:2*fp16.Lanes]), nil
 	}
 	idx, err := u.bankIndex(s, ctx, hbm.CmdRD)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 2*fp16.Lanes)
-	if err := ctx.access.ReadBank(idx, ctx.col, buf); err != nil {
+	if err := ctx.access.ReadBank(idx, ctx.col, u.bankBuf); err != nil {
 		return nil, err
 	}
 	if !ctx.functional {
-		return fp16.NewVector(fp16.Lanes), nil
+		clear(u.bankVec) // contents are never read in timing-only mode
+		return u.bankVec, nil
 	}
-	return fp16.VectorFromBytes(buf), nil
+	return u.bankVec.DecodeBytes(u.bankBuf), nil
 }
 
 // writeBank stores a vector to the unit's even or odd bank.
@@ -398,7 +442,8 @@ func (u *Unit) writeBank(s isa.Src, ctx *stepContext, v fp16.Vector) error {
 	if !ctx.functional {
 		return ctx.access.WriteBank(idx, ctx.col, nil)
 	}
-	return ctx.access.WriteBank(idx, ctx.col, v.Bytes())
+	v.PutBytes(u.outBuf)
+	return ctx.access.WriteBank(idx, ctx.col, u.outBuf)
 }
 
 // bankIndex resolves EVEN_BANK/ODD_BANK to a flat bank index, checking
@@ -429,8 +474,10 @@ func (u *Unit) bankIndex(s isa.Src, ctx *stepContext, need hbm.CmdKind) (int, er
 	return idx, nil
 }
 
-func broadcast(s fp16.F16) fp16.Vector {
-	v := fp16.NewVector(fp16.Lanes)
+// broadcast splats a scalar across the unit's reusable broadcast buffer;
+// like readBank's result, the slice is only valid until the next fetch.
+func (u *Unit) broadcast(s fp16.F16) fp16.Vector {
+	v := u.srfVec
 	for i := range v {
 		v[i] = s
 	}
@@ -452,6 +499,7 @@ func (u *Unit) writeRegSpace(space hbm.RegSpace, col uint32, data []byte) error 
 		}
 		for i := 0; i < 8; i++ {
 			u.crf[base+i] = binary.LittleEndian.Uint32(data[4*i:])
+			u.decOK[base+i] = false // invalidate the decode cache
 		}
 	case hbm.RegGRF:
 		half, idx := int(col)/u.grfEntries, int(col)%u.grfEntries
@@ -462,12 +510,12 @@ func (u *Unit) writeRegSpace(space hbm.RegSpace, col uint32, data []byte) error 
 		if half == 1 {
 			regs = u.grfB
 		}
-		copy(regs[idx], fp16.VectorFromBytes(data[:32]))
+		regs[idx].DecodeBytes(data[:32])
 	case hbm.RegSRF:
 		if col != 0 {
 			return fmt.Errorf("pim: SRF column %d out of range", col)
 		}
-		v := fp16.VectorFromBytes(data[:32])
+		v := u.tmpVec.DecodeBytes(data[:32])
 		copy(u.srfM, v[:isa.SRFEntries])
 		copy(u.srfA, v[isa.SRFEntries:])
 	default:
@@ -504,7 +552,7 @@ func (u *Unit) readRegSpace(space hbm.RegSpace, col uint32, buf []byte) error {
 		if col != 0 {
 			return fmt.Errorf("pim: SRF column %d out of range", col)
 		}
-		v := fp16.NewVector(2 * isa.SRFEntries)
+		v := u.tmpVec[:2*isa.SRFEntries]
 		copy(v[:isa.SRFEntries], u.srfM)
 		copy(v[isa.SRFEntries:], u.srfA)
 		v.PutBytes(buf)

@@ -1,0 +1,50 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools (-cpuprofile / -memprofile flags). The output files load directly
+// into `go tool pprof`; see DESIGN.md for the profiling workflow used to
+// optimize the simulator's hot paths.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a stop
+// function that must run at exit: it stops the CPU profile and, if memPath
+// is non-empty, writes a heap profile of the live objects at that point.
+// Either path may be empty to skip that profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuPath != "" {
+		cpu, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle transient garbage so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimsim/internal/hbm"
+	"pimsim/internal/isa"
 	"pimsim/internal/metrics"
 )
 
@@ -79,8 +80,10 @@ func (r *Runtime) collectDeviceMetrics(emit func(name string, value int64)) {
 		e := r.Execs[i]
 		emit("pim_triggers_total", e.Triggers())
 		emit("pim_aam_instr_total", e.AAMInstructions())
-		for op, n := range e.OpCounts() {
-			emit(fmt.Sprintf("pim_instr_total{op=%q}", op.String()), n)
+		for op, n := range e.OpCountsArray() {
+			if n > 0 {
+				emit(fmt.Sprintf("pim_instr_total{op=%q}", isa.Opcode(op).String()), n)
+			}
 		}
 	}
 }

@@ -344,7 +344,9 @@ func (r *Runtime) ReadBankRowSB(ch, flatBank int, row uint32, cols []uint32) ([]
 		if err != nil {
 			return nil, err
 		}
-		out[i] = res.Data
+		// res.Data is pseudo-channel scratch, only valid until the next
+		// Issue: copy it out.
+		out[i] = append([]byte(nil), res.Data...)
 	}
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
 		return nil, err
@@ -362,10 +364,11 @@ func (r *Runtime) ReadBankSB(ch, flatBank int, row, col uint32) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
+	data := append([]byte(nil), res.Data...) // copy out of pCH scratch
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
 		return nil, err
 	}
-	return res.Data, nil
+	return data, nil
 }
 
 // ReadGRFSB reads one GRF register of one unit through the SB register
@@ -387,13 +390,16 @@ func (r *Runtime) ReadGRFSB(ch, unit, half, idx int) (fp16.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Decode before the PRE: res.Data is scratch that the next Issue may
+	// reuse.
+	v := fp16.NewVector(fp16.Lanes)
+	if res.Data != nil {
+		v.DecodeBytes(res.Data)
+	}
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: b}); err != nil {
 		return nil, err
 	}
-	if res.Data == nil {
-		return fp16.NewVector(fp16.Lanes), nil
-	}
-	return fp16.VectorFromBytes(res.Data), nil
+	return v, nil
 }
 
 // ReadGRFRowSB reads several GRF registers of consecutive units with one

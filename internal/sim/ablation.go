@@ -151,6 +151,7 @@ func streamBandwidth(colUnderBG bool, aheadDepth int, random bool) (float64, err
 	ch := memctrl.NewChannel(dev.PCH(0), cfg)
 	s := memctrl.NewScheduler(ch, cfg)
 	s.AheadDepth = aheadDepth
+	s.AutoRelease = true // results discarded; recycle transactions
 	m := memctrl.NewAddrMap(16, cfg.BankGroups, cfg.BanksPerGroup,
 		cfg.Rows, cfg.ColumnsPerRow(), cfg.AccessBytes)
 	m.ColUnderBG = colUnderBG
