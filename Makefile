@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke
 
 all: build vet test
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,3 +25,18 @@ race:
 # "Simulator performance" table is regenerated from this file.
 bench:
 	$(GO) test -run '^$$' -bench 'Gemv$$' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_gemv.json
+
+# bench-serve runs the serving A/B (dynamic batching vs batch-size-1 at
+# equal shard count) through cmd/pimload and records throughput, latency
+# quantiles and the batching gain in BENCH_serve.json. The README's
+# "Serving" table is regenerated from this file. Fails if the gain ever
+# drops below 2x.
+bench-serve:
+	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 > serve_bench.txt
+	$(GO) run ./tools/benchjson -out BENCH_serve.json < serve_bench.txt
+	@rm -f serve_bench.txt
+
+# serve-smoke boots the real pimserve binary on a random port and checks
+# the HTTP taxonomy, backpressure and graceful shutdown over TCP.
+serve-smoke:
+	bash scripts/serve_smoke.sh

@@ -1,0 +1,191 @@
+// pimload is the load generator for pimserve. It drives a serve endpoint
+// (or an in-process server it boots itself) with a closed- or open-loop
+// arrival process, verifies outputs against the software oracle, and
+// reports throughput, latency quantiles (wall and simulated device
+// cycles), batch-size histograms and queue depth.
+//
+// With -bench it also emits `go test -bench`-shaped result lines, so the
+// output pipes straight into tools/benchjson:
+//
+//	pimload -compare -bench | go run ./tools/benchjson -out BENCH_serve.json
+//
+// -compare runs the batching A/B the paper's serving story rests on: the
+// same pool once with the dynamic batcher on (max batch = channel count)
+// and once pinned to batch size 1, and prints the throughput gain.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pimsim/internal/serve"
+)
+
+func ctxTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func decodeJSON(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }
+
+func main() {
+	var (
+		url     = flag.String("url", "", "target pimserve base URL (empty: boot an in-process server)")
+		model   = flag.String("model", "micro-256x256", "model to drive")
+		mode    = flag.String("mode", "closed", "arrival process: closed or open")
+		conc    = flag.Int("conc", 8, "closed-loop in-flight requests / open-loop senders")
+		reqs    = flag.Int("requests", 256, "total requests")
+		rate    = flag.Float64("rate", 0, "open-loop arrival rate (req/s)")
+		verify  = flag.Bool("verify", true, "check outputs against the software oracle")
+		bench   = flag.Bool("bench", false, "emit go-bench result lines for tools/benchjson")
+		compare = flag.Bool("compare", false, "in-process A/B: dynamic batching vs batch-size-1")
+		minGain = flag.Float64("min-gain", 0, "with -compare: exit nonzero if the batching gain is below this")
+
+		shards     = flag.Int("shards", 2, "in-process server: shards")
+		channels   = flag.Int("channels", 4, "in-process server: channels per shard")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "in-process server: batcher flush timeout")
+		queueDepth = flag.Int("queue-depth", 64, "in-process server: admission queue depth")
+	)
+	flag.Parse()
+
+	if *compare && *url != "" {
+		log.Fatal("pimload: -compare boots its own servers; drop -url")
+	}
+
+	srvCfg := func(maxBatch int) serve.Config {
+		return serve.Config{
+			Shards: *shards, Channels: *channels, MaxBatch: maxBatch,
+			BatchWait: *batchWait, QueueDepth: *queueDepth,
+		}
+	}
+
+	if *compare {
+		batched, err := runAgainst(srvCfg(0), *model, *mode, *conc, *reqs, *rate, *verify)
+		if err != nil {
+			log.Fatalf("pimload: batched run: %v", err)
+		}
+		serial, err := runAgainst(srvCfg(1), *model, *mode, *conc, *reqs, *rate, *verify)
+		if err != nil {
+			log.Fatalf("pimload: batch-1 run: %v", err)
+		}
+		gain := 0.0
+		if serial.SimThroughputRPS > 0 {
+			gain = batched.SimThroughputRPS / serial.SimThroughputRPS
+		}
+		if *bench {
+			printBench("dynamic", batched)
+			printBench("batch1", serial)
+			fmt.Printf("BenchmarkServe/gain-1 1 0 ns/op %.3f x_gain\n", gain)
+		} else {
+			fmt.Printf("dynamic batching (max %d):\n%s", *channels, batched)
+			fmt.Printf("batch size 1:\n%s", serial)
+			fmt.Printf("simulated-device throughput gain: %.2fx\n", gain)
+		}
+		if *minGain > 0 && gain < *minGain {
+			log.Fatalf("pimload: batching gain %.2fx below required %.2fx", gain, *minGain)
+		}
+		return
+	}
+
+	var rep *serve.Report
+	var err error
+	if *url == "" {
+		rep, err = runAgainst(srvCfg(0), *model, *mode, *conc, *reqs, *rate, *verify)
+	} else {
+		rep, err = runRemote(*url, *model, *mode, *conc, *reqs, *rate, *verify)
+	}
+	if err != nil {
+		log.Fatalf("pimload: %v", err)
+	}
+	if *bench {
+		printBench(*mode, rep)
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runAgainst boots an in-process server with cfg, drives it, and shuts it
+// down gracefully (a zero-drop drain is part of every run).
+func runAgainst(cfg serve.Config, model, mode string, conc, reqs int, rate float64, verify bool) (*serve.Report, error) {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := ctxTimeout(30 * time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		if err := s.Close(ctx); err != nil {
+			log.Printf("pimload: drain: %v", err)
+		}
+	}()
+	return runRemote("http://"+ln.Addr().String(), model, mode, conc, reqs, rate, verify)
+}
+
+// runRemote drives an already-running server. The model's shape (and,
+// for verification, its weight seed) comes from /healthz.
+func runRemote(base, model, mode string, conc, reqs int, rate float64, verify bool) (*serve.Report, error) {
+	spec, err := discoverModel(base, model)
+	if err != nil {
+		return nil, err
+	}
+	lc := serve.LoadConfig{
+		BaseURL: base, Model: model, K: spec.K,
+		Mode: mode, Concurrency: conc, Requests: reqs, RatePerSec: rate,
+	}
+	if verify {
+		lc.Verify = &spec
+	}
+	return serve.RunLoad(lc)
+}
+
+func discoverModel(base, name string) (serve.ModelSpec, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return serve.ModelSpec{}, err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Models []serve.ModelSpec `json:"models"`
+	}
+	if err := decodeJSON(resp.Body, &health); err != nil {
+		return serve.ModelSpec{}, fmt.Errorf("parse %s/healthz: %w", base, err)
+	}
+	for _, m := range health.Models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return serve.ModelSpec{}, fmt.Errorf("server does not serve model %q", name)
+}
+
+// printBench writes one go-bench-shaped line per run; iterations = OK
+// responses, ns/op = wall time per completed request.
+func printBench(tag string, r *serve.Report) {
+	nsPerOp := 0.0
+	if r.OK > 0 {
+		nsPerOp = r.WallSeconds * 1e9 / float64(r.OK)
+	}
+	fmt.Printf("BenchmarkServe/%s/%s-1 %d %.0f ns/op "+
+		"%.1f req/s %.1f sim_req/s %.0f p50_us %.0f p95_us %.0f p99_us "+
+		"%.2f avg_batch %d max_queue %d rejected %d timeouts\n",
+		tag, r.Model, r.OK, nsPerOp,
+		r.ThroughputRPS, r.SimThroughputRPS, r.WallP50Us, r.WallP95Us, r.WallP99Us,
+		r.AvgBatch, r.MaxQueueDepth, r.Rejected, r.Timeouts)
+}

@@ -1,0 +1,95 @@
+// pimserve runs the online inference service over a pool of simulated
+// PIM-HBM devices. Models are preloaded into the banks at boot; requests
+// flow through a bounded admission queue, a per-model dynamic batcher
+// (flush on batch size or max wait) and workers that lease shards.
+//
+//	pimserve -addr :8080 -shards 2 -channels 4
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/infer \
+//	    -d '{"model":"micro-256x256","input":[0.5, ...]}'
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener stops, then the
+// pipeline drains — every accepted request still gets its response.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pimsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		shards     = flag.Int("shards", 2, "independent simulated PIM devices")
+		channels   = flag.Int("channels", 4, "pseudo channels per shard (= max batch)")
+		mhz        = flag.Int("mhz", 1200, "memory clock in MHz")
+		maxBatch   = flag.Int("max-batch", 0, "batch bound (0 = channel count)")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "dynamic batcher flush timeout")
+		queueDepth = flag.Int("queue-depth", 64, "per-model admission queue depth")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-request deadline (queue + execute)")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:         *shards,
+		Channels:       *channels,
+		MHz:            *mhz,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+	}
+	boot := time.Now()
+	s, err := serve.New(cfg)
+	if err != nil {
+		log.Fatalf("pimserve: %v", err)
+	}
+	log.Printf("pimserve: %d shards x %d channels at %d MHz ready in %v",
+		*shards, *channels, *mhz, time.Since(boot).Round(time.Millisecond))
+	for _, m := range s.Models() {
+		log.Printf("pimserve: model %s loaded (%dx%d)", m.Name, m.M, m.K)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pimserve: %v", err)
+	}
+	// The resolved address on stdout lets scripts use -addr :0.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("pimserve: %v: draining", got)
+	case err := <-errCh:
+		log.Fatalf("pimserve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop the listener first (in-flight handlers finish), then drain the
+	// pipeline so every accepted request is answered.
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("pimserve: http shutdown: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		log.Fatalf("pimserve: %v", err)
+	}
+	log.Printf("pimserve: drained cleanly")
+}

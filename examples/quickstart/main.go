@@ -61,4 +61,6 @@ func main() {
 	fmt.Printf("  kernel time: %.2f us\n", stats.Ns(rt)/1000)
 	fmt.Printf("  result: bit-exact against the host reference (%d outputs)\n", M)
 	fmt.Printf("  y[0..4] = %v\n", y[:5])
+	fmt.Println("\nnext: examples/serving runs an HTTP inference service with")
+	fmt.Println("dynamic batching over a pool of these simulated devices")
 }

@@ -254,7 +254,7 @@ func runElt(rt *runtime.Runtime, op eltOp, n int, a, b fp16.Vector, gamma, beta 
 	if err != nil {
 		return nil, KernelStats{}, err
 	}
-	defer rt.Drv.FreeAllPIMRows()
+	defer func() { _ = rt.Drv.FreePIMRows(plan.baseRow) }()
 	if functional {
 		if err := plan.layout(rt, a, b); err != nil {
 			return nil, KernelStats{}, err

@@ -47,23 +47,39 @@ type gemvPlan struct {
 	passesPerRow int
 	rowsPerMacro int
 	baseRow      uint32
+
+	// replicated is the serving layout (resident.go): every channel holds
+	// every output block, so each channel can compute a complete y for its
+	// own input vector and a batch maps one request per channel.
+	replicated bool
 }
 
 func planGemv(rt *runtime.Runtime, M, K int) (*gemvPlan, error) {
+	return planGemvLayout(rt, M, K, false)
+}
+
+func planGemvLayout(rt *runtime.Runtime, M, K int, replicated bool) (*gemvPlan, error) {
 	if M <= 0 || K <= 0 {
 		return nil, fmt.Errorf("blas: gemv dims %dx%d", M, K)
 	}
 	p := &gemvPlan{
 		M: M, K: K,
-		C:     rt.NumChannels(),
-		U:     rt.Cfg.PIMUnits,
-		G:     grfDepth(rt),
-		lanes: fp16.Lanes,
+		C:          rt.NumChannels(),
+		U:          rt.Cfg.PIMUnits,
+		G:          grfDepth(rt),
+		lanes:      fp16.Lanes,
+		replicated: replicated,
 	}
 	p.Kp = ceilDiv(K, p.G) * p.G
 	p.Mp = ceilDiv(M, p.lanes) * p.lanes
 	p.blocks = p.Mp / p.lanes
-	p.macros = ceilDiv(p.blocks, p.C*p.U)
+	if replicated {
+		// Every channel computes every block for its own input, so the
+		// macro count is bounded by the units of one channel alone.
+		p.macros = ceilDiv(p.blocks, p.U)
+	} else {
+		p.macros = ceilDiv(p.blocks, p.C*p.U)
+	}
 	p.passes = p.Kp / p.G
 	p.passesPerRow = rt.Cfg.ColumnsPerRow() / p.G
 	p.rowsPerMacro = ceilDiv(p.passes, p.passesPerRow)
@@ -77,7 +93,12 @@ func planGemv(rt *runtime.Runtime, M, K int) (*gemvPlan, error) {
 
 // block returns the output block owned by (macro, unit, channel), or -1.
 func (p *gemvPlan) block(macro, unit, ch int) int {
-	b := (macro*p.U+unit)*p.C + ch
+	var b int
+	if p.replicated {
+		b = macro*p.U + unit // identical block set in every channel
+	} else {
+		b = (macro*p.U+unit)*p.C + ch
+	}
 	if b >= p.blocks {
 		return -1
 	}
@@ -205,7 +226,9 @@ func PimGemv(rt *runtime.Runtime, W fp16.Vector, M, K int, x fp16.Vector) (fp16.
 	if err != nil {
 		return nil, KernelStats{}, err
 	}
-	defer rt.Drv.FreeAllPIMRows()
+	// Scoped free: only this kernel's rows, so resident weights (served
+	// models) in neighbouring spans survive ad-hoc GEMV calls.
+	defer func() { _ = rt.Drv.FreePIMRows(plan.baseRow) }()
 
 	if functional {
 		if err := plan.layoutWeights(rt, W); err != nil {

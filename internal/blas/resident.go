@@ -1,0 +1,240 @@
+package blas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/runtime"
+)
+
+// Resident GEMV: the serving-side variant of PimGemv (resident weights +
+// channel-sharded batching).
+//
+// PimGemv lays its weights out per call and deals output blocks across
+// channels, so one request occupies the whole device and the layout cost
+// is paid every time. An online inference server has the opposite shape:
+// the model is fixed for hours and requests arrive one small input vector
+// at a time. LoadGemv therefore writes the weight matrix once, and
+// *replicates* it into every pseudo channel: each channel's units hold
+// every output block. A batch of B <= C independent input vectors then
+// maps one request per channel — channel c streams request c's inputs and
+// computes the complete y for it — and because pseudo channels progress on
+// independent clocks, the whole batch finishes in roughly the latency of
+// one request. That is the dynamic-batching win, and it is bounded by the
+// kernel's shape: the input splats ride the per-channel write datapath,
+// which all units of a channel share, so requests on the same channel
+// cannot overlap and the maximum batch is the channel count.
+//
+// The price of replication is macro passes: a channel folds its blocks
+// over U units instead of C*U, so models with more than U*16 outputs pay
+// ceil(blocks/U) sequential macros per request where the distributed
+// layout pays ceil(blocks/(C*U)). Exactly the paper's batching trade-off
+// (Section VII-B): batching restores utilization for small GEMVs but
+// erodes the latency edge as the per-request work grows.
+
+// ResidentGemv is a GEMV weight matrix loaded once into the PIM banks
+// (replicated layout) and served repeatedly. It holds driver rows until
+// Unload. Methods must not run concurrently on the same Runtime — the
+// serving layer guarantees that by leasing a shard to one worker at a
+// time.
+type ResidentGemv struct {
+	M, K int
+
+	plan     *gemvPlan
+	unloaded bool
+}
+
+// LoadGemv lays W (row-major M x K, FP16) out across every channel's
+// banks and returns a handle for repeated batched execution. Requires a
+// functional device: serving returns real outputs.
+func LoadGemv(rt *runtime.Runtime, W fp16.Vector, M, K int) (*ResidentGemv, error) {
+	if !rt.Cfg.Functional {
+		return nil, fmt.Errorf("blas: LoadGemv requires a functional device")
+	}
+	if W == nil {
+		return nil, fmt.Errorf("blas: LoadGemv requires weights")
+	}
+	if err := checkLen("W", W, M*K); err != nil {
+		return nil, err
+	}
+	plan, err := planGemvLayout(rt, M, K, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.layoutWeights(rt, W); err != nil {
+		_ = rt.Drv.FreePIMRows(plan.baseRow)
+		return nil, err
+	}
+	return &ResidentGemv{M: M, K: K, plan: plan}, nil
+}
+
+// Rows returns the number of PIM rows the resident layout occupies (per
+// bank, in every channel).
+func (g *ResidentGemv) Rows() int { return g.plan.macros * g.plan.rowsPerMacro }
+
+// MaxBatch returns the largest batch one kernel launch can carry: one
+// request per pseudo channel.
+func (g *ResidentGemv) MaxBatch(rt *runtime.Runtime) int { return rt.NumChannels() }
+
+// Unload releases the weight rows. The handle is dead afterwards.
+func (g *ResidentGemv) Unload(rt *runtime.Runtime) error {
+	if g.unloaded {
+		return fmt.Errorf("blas: ResidentGemv already unloaded")
+	}
+	g.unloaded = true
+	return rt.Drv.FreePIMRows(g.plan.baseRow)
+}
+
+// RunBatch executes y_i = W*x_i for each input in xs (len(xs) <= the
+// channel count) in a single kernel launch, one request per channel.
+// Outputs are bit-exact against RefGemvPIMOrder per request. KernelStats
+// covers the whole batch: Cycles is the slowest participating channel.
+func (g *ResidentGemv) RunBatch(rt *runtime.Runtime, xs []fp16.Vector) ([]fp16.Vector, KernelStats, error) {
+	if g.unloaded {
+		return nil, KernelStats{}, fmt.Errorf("blas: RunBatch on an unloaded model")
+	}
+	B := len(xs)
+	if B == 0 {
+		return nil, KernelStats{}, fmt.Errorf("blas: empty batch")
+	}
+	if B > rt.NumChannels() {
+		return nil, KernelStats{}, fmt.Errorf("blas: batch %d exceeds %d channels (one request per channel)",
+			B, rt.NumChannels())
+	}
+	for i, x := range xs {
+		if x == nil || len(x) != g.K {
+			return nil, KernelStats{}, fmt.Errorf("blas: batch input %d has %d elements, want %d", i, len(x), g.K)
+		}
+	}
+	plan := g.plan
+	ys := make([]fp16.Vector, B)
+
+	reg := beginRegion(rt)
+	var triggers int64
+	chErr := rt.ForEachChannel(func(ch int) error {
+		if ch >= B {
+			return nil // idle channel: no commands, clock untouched
+		}
+		x := xs[ch]
+		xdata := make([][]byte, plan.Kp)
+		for k := range xdata {
+			if k < g.K {
+				xdata[k] = splat(x[k])
+			} else {
+				xdata[k] = splat(fp16.Zero)
+			}
+		}
+		y := fp16.NewVector(g.M)
+		ys[ch] = y
+		var chTriggers int64
+		defer func() { atomic.AddInt64(&triggers, chTriggers) }()
+
+		if err := rt.EnterAB(ch); err != nil {
+			return err
+		}
+		for m := 0; m < plan.macros; m++ {
+			if err := rt.ZeroGRF(ch); err != nil {
+				return err
+			}
+			pass := 0
+			lastProg := -1
+			for pass < plan.passes {
+				chunk := plan.passes - pass
+				if chunk > maxPassesPerInvocation {
+					chunk = maxPassesPerInvocation
+				}
+				srw := rt.Cfg.Variant == hbm.VariantSRW
+				if chunk != lastProg {
+					if err := rt.ProgramCRF(ch, gemvProgram(plan.G, chunk, srw)); err != nil {
+						return err
+					}
+					lastProg = chunk
+				}
+				if err := rt.SetPIMMode(ch, true); err != nil {
+					return err
+				}
+				openRow := uint32(0)
+				rowOpen := false
+				for e := 0; e < chunk; e++ {
+					p := pass + e
+					row, _ := plan.passRowCol(m, p, 0)
+					if !rowOpen || row != openRow {
+						if rowOpen {
+							if err := rt.CloseRows(ch); err != nil {
+								return err
+							}
+						}
+						if err := rt.OpenRow(ch, row); err != nil {
+							return err
+						}
+						openRow, rowOpen = row, true
+					}
+					for i := 0; i < plan.G; i++ {
+						_, col := plan.passRowCol(m, p, i)
+						if err := rt.TriggerWR(ch, 0, col, xdata[p*plan.G+i]); err != nil {
+							return err
+						}
+						chTriggers++
+					}
+					rt.Fence(ch)
+					if !srw {
+						for i := 0; i < plan.G; i++ {
+							_, col := plan.passRowCol(m, p, i)
+							if err := rt.TriggerRD(ch, 0, col); err != nil {
+								return err
+							}
+							chTriggers++
+						}
+						rt.Fence(ch)
+					}
+				}
+				if err := rt.CloseRows(ch); err != nil {
+					return err
+				}
+				if err := rt.SetPIMMode(ch, false); err != nil {
+					return err
+				}
+				pass += chunk
+			}
+
+			if err := rt.ExitToSB(ch); err != nil {
+				return err
+			}
+			regs, err := rt.ReadGRFRowSB(ch, 1, plan.G)
+			if err != nil {
+				return err
+			}
+			for u := 0; u < plan.U; u++ {
+				b := plan.block(m, u, ch)
+				if b < 0 {
+					continue
+				}
+				for lane := 0; lane < plan.lanes; lane++ {
+					o := b*plan.lanes + lane
+					if o >= g.M {
+						continue
+					}
+					acc := fp16.Zero
+					for i := 0; i < plan.G; i++ {
+						acc = fp16.Add(acc, regs[u][i][lane])
+					}
+					y[o] = acc
+				}
+			}
+			if m+1 < plan.macros {
+				if err := rt.EnterAB(ch); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if chErr != nil {
+		return nil, KernelStats{}, chErr
+	}
+	ks := reg.end()
+	ks.Triggers = triggers
+	return ys, ks, nil
+}

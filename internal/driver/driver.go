@@ -7,6 +7,7 @@ package driver
 
 import (
 	"fmt"
+	"sync"
 
 	"pimsim/internal/hbm"
 	"pimsim/internal/memctrl"
@@ -27,22 +28,40 @@ func (r Region) End() uint64 { return r.Addr + r.Bytes }
 // Contains reports whether addr falls inside the region.
 func (r Region) Contains(addr uint64) bool { return addr >= r.Addr && addr < r.End() }
 
-// Driver owns the physical address space of the memory system.
+// Driver owns the physical address space of the memory system. All
+// allocation methods are safe for concurrent use; note however that one
+// Driver belongs to one Runtime (one simulated device shard), so
+// independent shards never share allocator state.
 type Driver struct {
 	cfg hbm.Config
 	m   memctrl.AddrMap
+
+	mu sync.Mutex
 
 	// Row space per bank: [0, pimRowBase) belongs to host data,
 	// [pimRowBase, confRowBase) to PIM operand layouts, and
 	// [confRowBase, Rows) is the PIM configuration space.
 	confRowBase uint32
 	pimRowBase  uint32
-	nextPIMRow  uint32 // bump allocator growing upward within the PIM region
+
+	// PIM row bookkeeping: a first-fit free list (sorted by base,
+	// adjacent spans coalesced) plus the live allocations by base row.
+	// Long-lived model weights (the serving layer) and transient kernel
+	// scratch allocate from the same region, so spans must be freeable
+	// individually — a bump pointer would leak rows across repeated model
+	// load/unload cycles.
+	pimFree  []rowSpan
+	pimAlloc map[uint32]uint32 // base row -> span length
 
 	hostNext  uint64 // bump allocator for host regions (address space)
 	hostLimit uint64
 
 	regions []Region
+}
+
+// rowSpan is a contiguous range of PIM rows [Base, Base+N).
+type rowSpan struct {
+	Base, N uint32
 }
 
 // PIMRowFraction is the share of each bank's rows the driver reserves for
@@ -68,7 +87,10 @@ func New(cfg hbm.Config, channels int) (*Driver, error) {
 		d.confRowBase = uint32(cfg.Rows)
 		d.pimRowBase = uint32(cfg.Rows)
 	}
-	d.nextPIMRow = d.pimRowBase
+	d.pimAlloc = make(map[uint32]uint32)
+	if d.confRowBase > d.pimRowBase {
+		d.pimFree = []rowSpan{{Base: d.pimRowBase, N: d.confRowBase - d.pimRowBase}}
+	}
 	// Host space covers every address whose row is below the PIM region.
 	d.hostLimit = m.Capacity() / uint64(cfg.Rows) * uint64(d.pimRowBase)
 	return d, nil
@@ -101,6 +123,8 @@ func (d *Driver) alloc(bytes uint64, uncacheable bool) (Region, error) {
 	}
 	// 32-byte alignment: one DRAM access granule.
 	bytes = (bytes + uint64(d.cfg.AccessBytes) - 1) &^ uint64(d.cfg.AccessBytes-1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.hostNext+bytes > d.hostLimit {
 		return Region{}, fmt.Errorf("driver: out of host memory (%d of %d used)", d.hostNext, d.hostLimit)
 	}
@@ -112,7 +136,8 @@ func (d *Driver) alloc(bytes uint64, uncacheable bool) (Region, error) {
 
 // AllocPIMRows reserves n consecutive rows (the same row indices in every
 // bank of every channel) for a PIM operand layout and returns the base
-// row.
+// row. Allocation is first-fit from the lowest free span, so a kernel
+// that frees its rows and reruns lands on the same rows again.
 func (d *Driver) AllocPIMRows(n int) (uint32, error) {
 	if d.cfg.PIMUnits == 0 {
 		return 0, fmt.Errorf("driver: PIM rows on a device without PIM units")
@@ -120,20 +145,93 @@ func (d *Driver) AllocPIMRows(n int) (uint32, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("driver: non-positive row count")
 	}
-	if d.nextPIMRow+uint32(n) > d.confRowBase {
-		return 0, fmt.Errorf("driver: out of PIM rows (%d requested, %d free)",
-			n, d.confRowBase-d.nextPIMRow)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.pimFree {
+		s := &d.pimFree[i]
+		if uint64(s.N) < uint64(n) {
+			continue
+		}
+		base := s.Base
+		s.Base += uint32(n)
+		s.N -= uint32(n)
+		if s.N == 0 {
+			d.pimFree = append(d.pimFree[:i], d.pimFree[i+1:]...)
+		}
+		d.pimAlloc[base] = uint32(n)
+		return base, nil
 	}
-	base := d.nextPIMRow
-	d.nextPIMRow += uint32(n)
-	return base, nil
+	var free, largest uint32
+	for _, s := range d.pimFree {
+		free += s.N
+		if s.N > largest {
+			largest = s.N
+		}
+	}
+	return 0, fmt.Errorf("driver: out of PIM rows (%d requested, %d free in %d spans, largest %d)",
+		n, free, len(d.pimFree), largest)
 }
 
-// FreeAllPIMRows releases every PIM row reservation (kernel teardown).
-func (d *Driver) FreeAllPIMRows() { d.nextPIMRow = d.pimRowBase }
+// FreePIMRows releases one AllocPIMRows reservation by its base row.
+// Freeing an unknown base (or the same base twice) is an error: for a
+// serving system that loads and unloads models for hours, a silent
+// double free would corrupt a neighbouring model's weights.
+func (d *Driver) FreePIMRows(base uint32) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.pimAlloc[base]
+	if !ok {
+		return fmt.Errorf("driver: FreePIMRows(%d): not a live PIM row allocation", base)
+	}
+	delete(d.pimAlloc, base)
+	// Insert sorted by base and coalesce with both neighbours.
+	i := 0
+	for i < len(d.pimFree) && d.pimFree[i].Base < base {
+		i++
+	}
+	d.pimFree = append(d.pimFree, rowSpan{})
+	copy(d.pimFree[i+1:], d.pimFree[i:])
+	d.pimFree[i] = rowSpan{Base: base, N: n}
+	if i+1 < len(d.pimFree) && d.pimFree[i].Base+d.pimFree[i].N == d.pimFree[i+1].Base {
+		d.pimFree[i].N += d.pimFree[i+1].N
+		d.pimFree = append(d.pimFree[:i+1], d.pimFree[i+2:]...)
+	}
+	if i > 0 && d.pimFree[i-1].Base+d.pimFree[i-1].N == d.pimFree[i].Base {
+		d.pimFree[i-1].N += d.pimFree[i].N
+		d.pimFree = append(d.pimFree[:i], d.pimFree[i+1:]...)
+	}
+	return nil
+}
+
+// FreeAllPIMRows releases every PIM row reservation (system teardown).
+// Kernels and model handles free their own spans with FreePIMRows; this
+// remains for tests and full resets only — on a live serving shard it
+// would yank resident model weights out from under the batcher.
+func (d *Driver) FreeAllPIMRows() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pimAlloc = make(map[uint32]uint32)
+	d.pimFree = nil
+	if d.confRowBase > d.pimRowBase {
+		d.pimFree = []rowSpan{{Base: d.pimRowBase, N: d.confRowBase - d.pimRowBase}}
+	}
+}
+
+// PIMRowsFree returns the number of currently unallocated PIM rows.
+func (d *Driver) PIMRowsFree() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var free uint32
+	for _, s := range d.pimFree {
+		free += s.N
+	}
+	return int(free)
+}
 
 // Uncacheable reports whether addr lives in an uncacheable region.
 func (d *Driver) Uncacheable(addr uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, r := range d.regions {
 		if r.Uncacheable && r.Contains(addr) {
 			return true

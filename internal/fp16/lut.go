@@ -19,6 +19,13 @@ import "math"
 // The equivalence of both paths with the reference is enforced by an
 // exhaustive 2^16 test plus a directed float32 sweep in fp16_test.go.
 
+// Concurrency: all three tables are written only by this package's
+// init() and are read-only afterwards. The Go runtime completes every
+// init() before main (or any test) starts, so concurrent readers — the
+// serving layer drives many device shards from worker goroutines — need
+// no sync.Once or other guard; this is audited by blas's
+// TestConcurrentShardsGemv under -race.
+
 // f16to32 holds float32(h) for every binary16 bit pattern (256 KiB).
 var f16to32 [1 << 16]float32
 

@@ -28,6 +28,45 @@ type HistogramSnapshot struct {
 	Buckets []int64 `json:"buckets"`
 }
 
+// Quantile estimates the p-quantile (0 < p <= 1) of the recorded
+// distribution by linear interpolation inside the owning bucket,
+// assuming non-negative observations (the registry's histograms record
+// cycles, microseconds and occupancies). The serving layer and the load
+// generator both report p50/p95/p99 through this helper so the bucket
+// math lives in exactly one place.
+//
+// The estimate for a quantile that lands in the +Inf overflow bucket is
+// clamped to the highest finite bound (an underestimate — widen the
+// buckets if that matters). An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(p float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1 / float64(2*h.Count) // below the first observation's rank
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum float64
+	lo := 0.0
+	for i, c := range h.Buckets {
+		if i >= len(h.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			return lo
+		}
+		hi := float64(h.Bounds[i])
+		if c > 0 && cum+float64(c) >= rank {
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+		lo = hi
+	}
+	return lo
+}
+
 // Counter returns a counter's value, or zero when absent — absent and
 // never-incremented are indistinguishable by design.
 func (s *Snapshot) Counter(name string) int64 { return s.Counters[name] }

@@ -26,10 +26,10 @@ type Unit struct {
 	grfA, grfB []fp16.Vector // vector registers, one 16-lane vector each
 	srfM, srfA []fp16.F16    // scalar registers
 
-	ppc       int                      // PIM program counter
-	nopLeft   int                      // remaining idle command slots of a multi-cycle NOP
-	jumpLeft  [isa.CRFEntries]int32    // per-CRF-slot remaining JUMP iterations
-	jumpArmed [isa.CRFEntries]bool     // whether jumpLeft holds a live count for the slot
+	ppc       int                   // PIM program counter
+	nopLeft   int                   // remaining idle command slots of a multi-cycle NOP
+	jumpLeft  [isa.CRFEntries]int32 // per-CRF-slot remaining JUMP iterations
+	jumpArmed [isa.CRFEntries]bool  // whether jumpLeft holds a live count for the slot
 	done      bool
 
 	// Decode cache: the unit re-fetches the same 32-slot microkernel once

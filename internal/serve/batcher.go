@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"pimsim/internal/fp16"
+)
+
+// batcher is the per-model pipeline stage between admission and the shard
+// pool. It blocks on the model's queue, then collects followers until the
+// batch is full (maxBatch, itself clamped to the channel count — the PIM
+// kernel carries one request per pseudo channel) or BatchWait elapses,
+// whichever first. It then leases a shard — blocking here is what turns a
+// busy pool into queue growth and, at QueueDepth, into 429s — and hands
+// the batch to a worker goroutine so the next batch can form while the
+// kernel runs. Exits when the queue is closed AND drained, which is how
+// Close guarantees zero dropped accepted requests.
+func (s *Server) batcher(m *model) {
+	defer s.wg.Done()
+	for {
+		first, ok := <-m.queue
+		if !ok {
+			return
+		}
+		s.queueDepth.Add(0, -1)
+		batch := s.collect(m, first)
+		sh := <-s.pool
+		s.wg.Add(1)
+		go s.runBatch(m, sh, batch)
+	}
+}
+
+// collect gathers up to maxBatch-1 followers behind first, waiting at
+// most BatchWait for stragglers. A closed queue flushes immediately.
+func (s *Server) collect(m *model, first *request) []*request {
+	batch := []*request{first}
+	if m.maxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWait)
+	defer timer.Stop()
+	for len(batch) < m.maxBatch {
+		select {
+		case r, ok := <-m.queue:
+			if !ok {
+				return batch
+			}
+			s.queueDepth.Add(0, -1)
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch is the worker: it owns the leased shard for one kernel launch.
+// Requests whose context expired while queued are answered 504 and never
+// touch the device; the survivors run as one ResidentGemv batch, one
+// request per channel.
+func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
+	defer s.wg.Done()
+	defer func() { s.pool <- sh }()
+
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			r.resp <- response{status: http.StatusGatewayTimeout, err: r.ctx.Err()}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	xs := make([]fp16.Vector, len(live))
+	for i, r := range live {
+		xs[i] = r.x
+	}
+	ys, ks, err := sh.loaded[m.spec.Name].RunBatch(sh.rt, xs)
+	if err != nil {
+		for _, r := range live {
+			r.resp <- response{status: http.StatusInternalServerError, err: err}
+		}
+		return
+	}
+
+	kernelNs := sh.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
+	s.batches.Inc(0)
+	s.deviceCycles.Add(0, ks.Cycles)
+	s.served.Add(0, int64(len(live)))
+	s.batchSize.Observe(0, int64(len(live)))
+	s.kernelCyc.Observe(0, ks.Cycles)
+	for i, r := range live {
+		waitUs := now.Sub(r.enq).Microseconds()
+		s.queueWait.Observe(0, waitUs)
+		r.resp <- response{
+			y:            ys[i],
+			status:       http.StatusOK,
+			batch:        len(live),
+			shard:        sh.id,
+			kernelCycles: ks.Cycles,
+			kernelNs:     kernelNs,
+			queueUs:      waitUs,
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pimsim/internal/fp16"
+)
+
+// InferRequest is the POST /v1/infer body. Exactly one of Input (a single
+// K-element vector) or Inputs (a batch of them) must be set. TimeoutMs
+// can only tighten the server's RequestTimeout, never extend it.
+type InferRequest struct {
+	Model     string      `json:"model"`
+	Input     []float64   `json:"input,omitempty"`
+	Inputs    [][]float64 `json:"inputs,omitempty"`
+	TimeoutMs int         `json:"timeout_ms,omitempty"`
+}
+
+// InferResponse is the success body. Single-input requests fill the
+// scalar fields; batched requests fill the per-input slices. BatchSize is
+// the size of the device batch the request was packed into (other
+// clients' requests included), not the request's own input count.
+type InferResponse struct {
+	Model   string      `json:"model"`
+	Output  []float64   `json:"output,omitempty"`
+	Outputs [][]float64 `json:"outputs,omitempty"`
+
+	BatchSize    int     `json:"batch_size,omitempty"`
+	Shard        int     `json:"shard,omitempty"`
+	KernelCycles int64   `json:"kernel_cycles,omitempty"`
+	KernelNs     float64 `json:"kernel_ns,omitempty"`
+	QueueUs      int64   `json:"queue_us,omitempty"`
+
+	BatchSizes   []int     `json:"batch_sizes,omitempty"`
+	Shards       []int     `json:"shards,omitempty"`
+	KernelCycled []int64   `json:"kernel_cycles_each,omitempty"`
+	KernelNsEach []float64 `json:"kernel_ns_each,omitempty"`
+	QueueUsEach  []int64   `json:"queue_us_each,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 reply.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// Handler returns the service's HTTP mux. It is safe to serve from
+// multiple listeners; all state lives in the Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	return mux
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.fail(w, start, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Oversized bodies surface here as http.MaxBytesError; both
+		// malformed JSON and too-large are client errors.
+		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+
+	var inputs [][]float64
+	single := false
+	switch {
+	case req.Input != nil && req.Inputs != nil:
+		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("set exactly one of input or inputs"))
+		return
+	case req.Input != nil:
+		inputs, single = [][]float64{req.Input}, true
+	case len(req.Inputs) > 0:
+		inputs = req.Inputs
+	default:
+		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("missing input"))
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admit everything first; a rejection mid-way still waits for the
+	// vectors already admitted (they each get a terminal response).
+	reqs := make([]*request, 0, len(inputs))
+	rejStatus := 0
+	var rejErr error
+	for _, in := range inputs {
+		x := fp16.NewVector(len(in))
+		for i, v := range in {
+			x[i] = fp16.FromFloat32(float32(v))
+		}
+		q, status, err := s.enqueue(ctx, req.Model, x, start)
+		if err != nil {
+			rejStatus, rejErr = status, err
+			break
+		}
+		reqs = append(reqs, q)
+	}
+
+	resps := make([]response, len(reqs))
+	for i, q := range reqs {
+		select {
+		case resps[i] = <-q.resp:
+		case <-ctx.Done():
+			resps[i] = response{status: http.StatusGatewayTimeout, err: ctx.Err()}
+		}
+	}
+
+	if rejErr != nil {
+		s.fail(w, start, rejStatus, rejErr)
+		return
+	}
+	for _, rp := range resps {
+		if rp.status != http.StatusOK {
+			s.fail(w, start, rp.status, rp.err)
+			return
+		}
+	}
+
+	out := InferResponse{Model: req.Model}
+	if single {
+		rp := resps[0]
+		out.Output = toF64(rp.y)
+		out.BatchSize, out.Shard = rp.batch, rp.shard
+		out.KernelCycles, out.KernelNs, out.QueueUs = rp.kernelCycles, rp.kernelNs, rp.queueUs
+	} else {
+		for _, rp := range resps {
+			out.Outputs = append(out.Outputs, toF64(rp.y))
+			out.BatchSizes = append(out.BatchSizes, rp.batch)
+			out.Shards = append(out.Shards, rp.shard)
+			out.KernelCycled = append(out.KernelCycled, rp.kernelCycles)
+			out.KernelNsEach = append(out.KernelNsEach, rp.kernelNs)
+			out.QueueUsEach = append(out.QueueUsEach, rp.queueUs)
+		}
+	}
+	s.respond(w, start, http.StatusOK, out)
+}
+
+func toF64(y fp16.Vector) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = float64(v.Float32())
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		s.respond(w, time.Now(), http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.respond(w, time.Now(), http.StatusOK, map[string]any{
+		"status":    "ok",
+		"shards":    s.cfg.Shards,
+		"channels":  s.cfg.Channels,
+		"max_batch": s.cfg.MaxBatch,
+		"models":    s.Models(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.reg.Snapshot())
+}
+
+// respond writes a JSON body and accounts the status code + wall time.
+func (s *Server) respond(w http.ResponseWriter, start time.Time, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+	if c := s.codes[status]; c != nil {
+		c.Inc(0)
+	}
+	s.wallUs.Observe(0, time.Since(start).Microseconds())
+}
+
+// fail writes the error taxonomy: 400 client errors, 429 backpressure
+// (with Retry-After so well-behaved clients pace themselves), 503
+// draining, 504 deadline, 500 device faults.
+func (s *Server) fail(w http.ResponseWriter, start time.Time, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		retry := s.cfg.BatchWait * 4
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	msg := "internal error"
+	if err != nil {
+		msg = err.Error()
+	}
+	s.respond(w, start, status, ErrorResponse{Error: msg, Status: status})
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/metrics"
+)
+
+// LoadConfig drives one load-generation run against a serve endpoint.
+type LoadConfig struct {
+	BaseURL string // e.g. http://127.0.0.1:8080
+	Model   string
+	K       int // input vector length (must match the model)
+
+	Mode        string        // "closed" (default) or "open"
+	Concurrency int           // closed-loop in-flight requests (default 8)
+	Requests    int           // total requests to send (default 256)
+	RatePerSec  float64       // open-loop arrival rate (required for open)
+	Timeout     time.Duration // per-request client timeout (default 10s)
+
+	// Verify, when set, recomputes every response against the software
+	// oracle (the spec regenerates the weights) and counts mismatches as
+	// failures. VerifyGRF is the device's GRF depth (default 8, the base
+	// PIM-HBM part).
+	Verify    *ModelSpec
+	VerifyGRF int
+
+	Client *http.Client
+}
+
+func (c *LoadConfig) applyDefaults() error {
+	if c.BaseURL == "" || c.Model == "" || c.K <= 0 {
+		return fmt.Errorf("loadgen: BaseURL, Model and K are required")
+	}
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Mode != "closed" && c.Mode != "open" {
+		return fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if c.Mode == "open" && c.RatePerSec <= 0 {
+		return fmt.Errorf("loadgen: open loop needs RatePerSec")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.VerifyGRF <= 0 {
+		c.VerifyGRF = 8
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	return nil
+}
+
+// Report is the outcome of a load run. Latency quantiles come from the
+// shared metrics.HistogramSnapshot.Quantile estimator; simulated-device
+// numbers come from the per-response kernel stats (deterministic), wall
+// numbers from the host clock.
+type Report struct {
+	Mode        string  `json:"mode"`
+	Model       string  `json:"model"`
+	Concurrency int     `json:"concurrency"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+
+	Sent     int `json:"sent"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"` // 429 backpressure
+	Timeouts int `json:"timeouts"` // 504 deadline
+	Failures int `json:"failures"` // transport errors, 5xx, verify mismatches
+
+	WallSeconds      float64 `json:"wall_seconds"`
+	ThroughputRPS    float64 `json:"throughput_rps"`     // OK / wall
+	SimThroughputRPS float64 `json:"sim_throughput_rps"` // OK / device-busy time
+
+	WallP50Us float64 `json:"wall_p50_us"`
+	WallP95Us float64 `json:"wall_p95_us"`
+	WallP99Us float64 `json:"wall_p99_us"`
+
+	QueueP50Us float64 `json:"queue_p50_us"`
+	QueueP99Us float64 `json:"queue_p99_us"`
+
+	CyclesP50 float64 `json:"kernel_cycles_p50"`
+	CyclesP95 float64 `json:"kernel_cycles_p95"`
+	CyclesP99 float64 `json:"kernel_cycles_p99"`
+
+	AvgBatch       float64          `json:"avg_batch"`
+	BatchHistogram map[string]int64 `json:"batch_histogram"`
+	MaxQueueDepth  int64            `json:"max_queue_depth"`
+}
+
+// RunLoad sends cfg.Requests inferences and aggregates the outcome. The
+// closed loop keeps Concurrency requests in flight back-to-back (peak
+// sustainable throughput); the open loop fires at RatePerSec regardless
+// of completions (latency under a fixed arrival process, the
+// backpressure/timeout regime).
+func RunLoad(cfg LoadConfig) (*Report, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+
+	reg := metrics.New(cfg.Concurrency)
+	wallH := reg.Histogram("wall_us", metrics.ExpBuckets(1, 2, 30))
+	queueH := reg.Histogram("queue_us", metrics.ExpBuckets(1, 2, 30))
+	cycH := reg.Histogram("kernel_cycles", metrics.ExpBuckets(64, 2, 26))
+
+	var okN, rejN, toN, failN, batchSum int64
+	var busyNs uint64 // device-busy ns attributable to OK responses, *1000 fixed point
+	var batchMu sync.Mutex
+	batchHist := map[int]int64{}
+
+	// Inputs: one deterministic vector per worker slot; data does not
+	// affect timing, and a fixed input lets Verify precompute the oracle.
+	inputs := make([][]float64, cfg.Concurrency)
+	oracle := make([]fp16.Vector, cfg.Concurrency)
+	var W fp16.Vector
+	if cfg.Verify != nil {
+		W = cfg.Verify.Weights()
+	}
+	for wkr := 0; wkr < cfg.Concurrency; wkr++ {
+		rng := rand.New(rand.NewSource(int64(1000 + wkr)))
+		x16 := fp16.NewVector(cfg.K)
+		in := make([]float64, cfg.K)
+		for i := range in {
+			x16[i] = fp16.FromFloat32(float32(rng.NormFloat64()))
+			in[i] = float64(x16[i].Float32())
+		}
+		inputs[wkr] = in
+		if cfg.Verify != nil {
+			oracle[wkr] = blas.RefGemvPIMOrder(W, cfg.Verify.M, cfg.Verify.K, x16, cfg.VerifyGRF)
+		}
+	}
+
+	body := func(wkr int) []byte {
+		b, _ := json.Marshal(InferRequest{Model: cfg.Model, Input: inputs[wkr]})
+		return b
+	}
+
+	shoot := func(wkr int) {
+		shard := wkr % cfg.Concurrency
+		start := time.Now()
+		resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/infer", "application/json", bytes.NewReader(body(wkr)))
+		wallUs := time.Since(start).Microseconds()
+		if err != nil {
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var ir InferResponse
+			if err := json.Unmarshal(raw, &ir); err != nil {
+				atomic.AddInt64(&failN, 1)
+				return
+			}
+			if cfg.Verify != nil && !outputsMatch(ir.Output, oracle[wkr]) {
+				atomic.AddInt64(&failN, 1)
+				return
+			}
+			atomic.AddInt64(&okN, 1)
+			wallH.Observe(shard, wallUs)
+			queueH.Observe(shard, ir.QueueUs)
+			cycH.Observe(shard, ir.KernelCycles)
+			atomic.AddInt64(&batchSum, int64(ir.BatchSize))
+			if ir.BatchSize > 0 {
+				// Per-request device time: the batch's kernel amortized
+				// over its members.
+				atomic.AddUint64(&busyNs, uint64(ir.KernelNs/float64(ir.BatchSize)))
+			}
+			batchMu.Lock()
+			batchHist[ir.BatchSize]++
+			batchMu.Unlock()
+		case http.StatusTooManyRequests:
+			atomic.AddInt64(&rejN, 1)
+		case http.StatusGatewayTimeout:
+			atomic.AddInt64(&toN, 1)
+		default:
+			atomic.AddInt64(&failN, 1)
+		}
+	}
+
+	// Sample the server's queue-depth gauge while the run is live.
+	var maxDepth int64
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-t.C:
+				if d, err := fetchQueueDepth(cfg.Client, cfg.BaseURL); err == nil && d > atomic.LoadInt64(&maxDepth) {
+					atomic.StoreInt64(&maxDepth, d)
+				}
+			}
+		}
+	}()
+
+	startWall := time.Now()
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case "closed":
+		var next int64
+		for wkr := 0; wkr < cfg.Concurrency; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for {
+					if atomic.AddInt64(&next, 1) > int64(cfg.Requests) {
+						return
+					}
+					shoot(wkr)
+				}
+			}(wkr)
+		}
+	case "open":
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+		t := time.NewTicker(interval)
+		for i := 0; i < cfg.Requests; i++ {
+			<-t.C
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				shoot(wkr)
+			}(i % cfg.Concurrency)
+		}
+		t.Stop()
+	}
+	wg.Wait()
+	wall := time.Since(startWall)
+	close(stopSampling)
+	samplerWG.Wait()
+
+	snap := reg.Snapshot()
+	wallS, queueS, cycS := snap.Histograms["wall_us"], snap.Histograms["queue_us"], snap.Histograms["kernel_cycles"]
+
+	rep := &Report{
+		Mode:        cfg.Mode,
+		Model:       cfg.Model,
+		Concurrency: cfg.Concurrency,
+		RatePerSec:  cfg.RatePerSec,
+		Sent:        cfg.Requests,
+		OK:          int(okN),
+		Rejected:    int(rejN),
+		Timeouts:    int(toN),
+		Failures:    int(failN),
+		WallSeconds: wall.Seconds(),
+		WallP50Us:   wallS.Quantile(0.50),
+		WallP95Us:   wallS.Quantile(0.95),
+		WallP99Us:   wallS.Quantile(0.99),
+		QueueP50Us:  queueS.Quantile(0.50),
+		QueueP99Us:  queueS.Quantile(0.99),
+		CyclesP50:   cycS.Quantile(0.50),
+		CyclesP95:   cycS.Quantile(0.95),
+		CyclesP99:   cycS.Quantile(0.99),
+
+		BatchHistogram: map[string]int64{},
+		MaxQueueDepth:  maxDepth,
+	}
+	if rep.OK > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
+		rep.AvgBatch = float64(batchSum) / float64(rep.OK)
+		if busyNs > 0 {
+			rep.SimThroughputRPS = float64(rep.OK) / (float64(busyNs) / 1e9)
+		}
+	}
+	for b, n := range batchHist {
+		rep.BatchHistogram[fmt.Sprint(b)] = n
+	}
+	if got := rep.OK + rep.Rejected + rep.Timeouts + rep.Failures; got != rep.Sent {
+		return rep, fmt.Errorf("loadgen: dropped responses: sent %d, accounted %d", rep.Sent, got)
+	}
+	return rep, nil
+}
+
+func outputsMatch(got []float64, want fp16.Vector) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i, v := range got {
+		if fp16.FromFloat32(float32(v)) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fetchQueueDepth(c *http.Client, base string) (int64, error) {
+	resp, err := c.Get(base + "/metrics.json")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, err
+	}
+	return snap.Gauge("serve_queue_depth"), nil
+}
+
+// String renders the report for terminals.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s loop, model %s, %d in flight", r.Mode, r.Model, r.Concurrency)
+	if r.RatePerSec > 0 {
+		fmt.Fprintf(&b, ", %.0f req/s offered", r.RatePerSec)
+	}
+	fmt.Fprintf(&b, "\n  sent %d: %d ok, %d rejected (429), %d timeouts (504), %d failures\n",
+		r.Sent, r.OK, r.Rejected, r.Timeouts, r.Failures)
+	fmt.Fprintf(&b, "  throughput  %.1f req/s wall, %.1f req/s simulated-device\n",
+		r.ThroughputRPS, r.SimThroughputRPS)
+	fmt.Fprintf(&b, "  wall latency  p50 %.0fus  p95 %.0fus  p99 %.0fus\n", r.WallP50Us, r.WallP95Us, r.WallP99Us)
+	fmt.Fprintf(&b, "  queue wait    p50 %.0fus  p99 %.0fus   max depth %d\n", r.QueueP50Us, r.QueueP99Us, r.MaxQueueDepth)
+	fmt.Fprintf(&b, "  kernel cycles p50 %.0f  p95 %.0f  p99 %.0f\n", r.CyclesP50, r.CyclesP95, r.CyclesP99)
+	fmt.Fprintf(&b, "  batch size    avg %.2f  histogram %s\n", r.AvgBatch, batchHistString(r.BatchHistogram))
+	return b.String()
+}
+
+func batchHistString(h map[string]int64) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, h[k]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

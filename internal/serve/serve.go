@@ -1,0 +1,341 @@
+// Package serve is the online inference layer over the simulated PIM
+// system: an HTTP server that owns a pool of independent simulated
+// PIM-HBM shards (one runtime.Runtime + driver.Driver each, with model
+// weights resident in the banks via blas.LoadGemv) and pushes requests
+// through an admission -> batch -> shard pipeline:
+//
+//	POST /v1/infer   bounded admission queue per model (429 + Retry-After
+//	                 on overflow), per-request deadline (504 on expiry; an
+//	                 expired request never reaches a shard), a dynamic
+//	                 batcher that flushes on max-batch-size or max-wait —
+//	                 whichever first — and packs compatible GEMV requests
+//	                 into one PIM kernel launch, worker goroutines that
+//	                 lease shards from the pool
+//	GET  /healthz    liveness + loaded-model inventory
+//	GET  /metrics    Prometheus text exposition of the serving metrics
+//	GET  /metrics.json  the same snapshot as JSON (metrics.Snapshot)
+//
+// Batching is bounded by the PIM kernel's shape: a batch maps one request
+// per pseudo channel (blas.ResidentGemv), because the input splats ride
+// the per-channel write datapath that all of a channel's execution units
+// share. Close drains in-flight work without dropping any accepted
+// request.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/metrics"
+	"pimsim/internal/models"
+	"pimsim/internal/runtime"
+)
+
+// ModelSpec names one servable GEMV workload: y = W*x with W an M x K
+// FP16 matrix generated deterministically from Seed (the repo has no
+// trained checkpoints; serving exercises the system, not the weights).
+type ModelSpec struct {
+	Name string `json:"name"`
+	M    int    `json:"m"`
+	K    int    `json:"k"`
+	Seed int64  `json:"seed"`
+}
+
+// Weights regenerates the spec's weight matrix (deterministic, so load
+// generators and tests can verify served outputs bit-exactly).
+func (spec ModelSpec) Weights() fp16.Vector {
+	rng := rand.New(rand.NewSource(spec.Seed<<20 ^ int64(spec.M)*31 ^ int64(spec.K)))
+	v := fp16.NewVector(spec.M * spec.K)
+	for i := range v {
+		v[i] = fp16.FromFloat32(float32(rng.NormFloat64() * 0.25))
+	}
+	return v
+}
+
+// DefaultModels returns the served model set: the paper's small-output
+// inference layers (dimensions pulled from internal/models so they stay
+// in sync with the evaluation workloads) plus one mid-size synthetic.
+func DefaultModels() []ModelSpec {
+	var specs []ModelSpec
+	if l, ok := findLayer(models.RNNT(), "joint_fc2"); ok {
+		specs = append(specs, ModelSpec{Name: "rnnt-joint2", M: l.M, K: l.K, Seed: 1})
+	}
+	if l, ok := findLayer(models.DS2(), "fc_out"); ok {
+		specs = append(specs, ModelSpec{Name: "ds2-fc", M: l.M, K: l.K, Seed: 2})
+	}
+	specs = append(specs, ModelSpec{Name: "micro-256x256", M: 256, K: 256, Seed: 3})
+	return specs
+}
+
+func findLayer(m models.Model, name string) (models.Layer, bool) {
+	for _, l := range m.Layers {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return models.Layer{}, false
+}
+
+// Config sizes the server. Zero values take the documented defaults.
+type Config struct {
+	Shards   int // independent simulated PIM devices (default 2)
+	Channels int // pseudo channels per shard (default 4)
+	MHz      int // memory clock (default 1200, the paper's part)
+
+	Models []ModelSpec // preloaded on every shard (default DefaultModels)
+
+	MaxBatch       int           // batch bound; clamped to Channels (default Channels)
+	BatchWait      time.Duration // batcher flush timeout (default 2ms)
+	QueueDepth     int           // per-model admission queue (default 64)
+	RequestTimeout time.Duration // deadline incl. queueing (default 2s)
+	MaxBodyBytes   int64         // request body cap (default 8 MiB)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Channels <= 0 {
+		c.Channels = 4
+	}
+	if c.MHz <= 0 {
+		c.MHz = 1200
+	}
+	if c.Models == nil {
+		c.Models = DefaultModels()
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > c.Channels {
+		c.MaxBatch = c.Channels
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// shard is one independent simulated PIM device with every model
+// resident. A shard is leased to at most one worker at a time (the pool
+// channel is the lease), so its Runtime never sees concurrent kernels.
+type shard struct {
+	id     int
+	rt     *runtime.Runtime
+	loaded map[string]*blas.ResidentGemv
+}
+
+// model is one served workload: its weights and admission queue.
+type model struct {
+	spec     ModelSpec
+	W        fp16.Vector
+	queue    chan *request
+	maxBatch int
+}
+
+// request is one admitted input vector on its way to a shard.
+type request struct {
+	ctx  context.Context
+	x    fp16.Vector
+	enq  time.Time
+	resp chan response // buffered; the pipeline never blocks on a reply
+}
+
+// response is the terminal outcome of one request. Exactly one response
+// is delivered for every admitted request — the zero-drop contract.
+type response struct {
+	y            fp16.Vector
+	err          error
+	status       int
+	batch        int
+	shard        int
+	kernelCycles int64
+	kernelNs     float64
+	queueUs      int64
+}
+
+// Server is the inference service.
+type Server struct {
+	cfg    Config
+	mods   map[string]*model
+	shards []*shard
+	pool   chan *shard
+
+	mu       sync.RWMutex // guards draining vs. enqueue/close(queue)
+	draining bool
+
+	wg sync.WaitGroup // batchers + in-flight batch workers
+
+	reg          *metrics.Registry
+	admitted     *metrics.Counter
+	served       *metrics.Counter
+	batches      *metrics.Counter
+	deviceCycles *metrics.Counter
+	queueDepth   *metrics.Gauge
+	queueWait    *metrics.Histogram
+	batchSize    *metrics.Histogram
+	kernelCyc    *metrics.Histogram
+	wallUs       *metrics.Histogram
+	codes        map[int]*metrics.Counter
+}
+
+// New boots the shard pool, generates and loads every model's weights on
+// every shard, and starts one batcher per model.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:  cfg,
+		mods: make(map[string]*model, len(cfg.Models)),
+		pool: make(chan *shard, cfg.Shards),
+		reg:  metrics.New(1),
+	}
+	s.admitted = s.reg.Counter("serve_admitted_total")
+	s.served = s.reg.Counter("serve_served_total")
+	s.batches = s.reg.Counter("serve_batches_total")
+	s.deviceCycles = s.reg.Counter("serve_device_busy_cycles_total")
+	s.queueDepth = s.reg.Gauge("serve_queue_depth")
+	s.queueWait = s.reg.Histogram("serve_queue_wait_us", metrics.ExpBuckets(1, 2, 24))
+	s.batchSize = s.reg.Histogram("serve_batch_size", linearBuckets(1, cfg.Channels))
+	s.kernelCyc = s.reg.Histogram("serve_kernel_cycles", metrics.ExpBuckets(64, 2, 24))
+	s.wallUs = s.reg.Histogram("serve_request_wall_us", metrics.ExpBuckets(1, 2, 26))
+	s.codes = make(map[int]*metrics.Counter)
+	for _, code := range []int{200, 400, 404, 405, 429, 500, 503, 504} {
+		s.codes[code] = s.reg.Counter(fmt.Sprintf("serve_responses_total{code=%q}", fmt.Sprint(code)))
+	}
+
+	for _, spec := range cfg.Models {
+		if spec.Name == "" || spec.M <= 0 || spec.K <= 0 {
+			return nil, fmt.Errorf("serve: invalid model spec %+v", spec)
+		}
+		if _, dup := s.mods[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model %q", spec.Name)
+		}
+		s.mods[spec.Name] = &model{
+			spec:     spec,
+			W:        spec.Weights(),
+			queue:    make(chan *request, cfg.QueueDepth),
+			maxBatch: cfg.MaxBatch,
+		}
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		hcfg := hbm.PIMHBMConfig(cfg.MHz)
+		hcfg.PseudoChannels = cfg.Channels
+		hcfg.Functional = true
+		dev, err := hbm.NewDevice(hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		rt.ParallelKernels = true
+		sh := &shard{id: i, rt: rt, loaded: make(map[string]*blas.ResidentGemv, len(s.mods))}
+		for name, m := range s.mods {
+			g, err := blas.LoadGemv(rt, m.W, m.spec.M, m.spec.K)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d: load %s: %w", i, name, err)
+			}
+			sh.loaded[name] = g
+		}
+		s.shards = append(s.shards, sh)
+		s.pool <- sh
+	}
+
+	for _, m := range s.mods {
+		s.wg.Add(1)
+		go s.batcher(m)
+	}
+	return s, nil
+}
+
+func linearBuckets(start, n int) []int64 {
+	out := make([]int64, 0, n)
+	for v := start; v < start+n; v++ {
+		out = append(out, int64(v))
+	}
+	return out
+}
+
+// Metrics returns the serving registry (counters, queue gauge, latency
+// and batch-size histograms). Shard-internal device metrics are not
+// merged here: their collectors require quiescent hardware state, which
+// only the worker holding a shard lease can guarantee.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Models returns the served specs (stable order not guaranteed).
+func (s *Server) Models() []ModelSpec {
+	out := make([]ModelSpec, 0, len(s.mods))
+	for _, m := range s.mods {
+		out = append(out, m.spec)
+	}
+	return out
+}
+
+// enqueue admits one input vector into its model's queue. On rejection it
+// returns the HTTP status the caller should surface (400/429/503).
+func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq time.Time) (*request, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server draining")
+	}
+	m := s.mods[name]
+	if m == nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown model %q", name)
+	}
+	if len(x) != m.spec.K {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("model %s takes %d inputs, got %d", name, m.spec.K, len(x))
+	}
+	req := &request{ctx: ctx, x: x, enq: enq, resp: make(chan response, 1)}
+	select {
+	case m.queue <- req:
+		s.admitted.Inc(0)
+		s.queueDepth.Add(0, 1)
+		return req, http.StatusOK, nil
+	default:
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("model %s admission queue full (%d deep)", name, cap(m.queue))
+	}
+}
+
+// Close stops admission and drains: every already-accepted request still
+// gets a terminal response before Close returns. ctx bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for _, m := range s.mods {
+		close(m.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}

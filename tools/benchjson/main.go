@@ -22,6 +22,10 @@ type result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Extra holds custom units (testing.B.ReportMetric or tools like
+	// cmd/pimload emit e.g. "1234.5 req/s", "87 p99_us"), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -102,6 +106,14 @@ func parseBench(line string) (result, bool) {
 			r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+		default:
+			// Custom metric: keep it rather than dropping it silently.
+			if f, ferr := strconv.ParseFloat(v, 64); ferr == nil {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[unit] = f
+			}
 		}
 		if err != nil {
 			return result{}, false
