@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke
+.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke chaos
 
 all: build vet test
 
@@ -40,3 +40,14 @@ bench-serve:
 # the HTTP taxonomy, backpressure and graceful shutdown over TCP.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# chaos runs the three-phase fault drill from docs/FAULTS.md against both
+# profiles: fault-free ECC-on baseline, verified load under injection
+# (zero wrong answers or the drill fails), post-recovery throughput floor
+# against baseline. Deterministic: same seed, same fault pattern. The
+# hard profile keeps injecting heavy spikes, flips and occasional
+# uncorrectables after the outage revives, so its floor is lower — the
+# continuing faults are the environment, not a recovery failure.
+chaos:
+	$(GO) run ./cmd/pimload -chaos -fault-profile chaos-mild -fault-seed 42 -requests 96 -conc 8
+	$(GO) run ./cmd/pimload -chaos -fault-profile chaos-hard -fault-seed 42 -requests 96 -conc 8 -max-err-frac 0.6 -recover-frac 0.75

@@ -12,6 +12,11 @@
 // -compare runs the batching A/B the paper's serving story rests on: the
 // same pool once with the dynamic batcher on (max batch = channel count)
 // and once pinned to batch size 1, and prints the throughput gain.
+//
+// -chaos runs the three-phase fault drill from docs/FAULTS.md: a
+// fault-free ECC-on baseline, a verified run under an injected fault
+// profile (zero wrong answers or the drill fails), and a post-recovery
+// run that must reach -recover-frac of the baseline throughput.
 package main
 
 import (
@@ -52,11 +57,35 @@ func main() {
 		channels   = flag.Int("channels", 4, "in-process server: channels per shard")
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "in-process server: batcher flush timeout")
 		queueDepth = flag.Int("queue-depth", 64, "in-process server: admission queue depth")
+
+		chaos       = flag.Bool("chaos", false, "run the three-phase fault drill (baseline / chaos / recovery)")
+		profile     = flag.String("fault-profile", "chaos-mild", "with -chaos: fault profile to inject")
+		faultSeed   = flag.Int64("fault-seed", 42, "with -chaos: injector seed")
+		recoverFrac = flag.Float64("recover-frac", 0.9, "with -chaos: post-recovery throughput floor (fraction of baseline)")
+		maxErrFrac  = flag.Float64("max-err-frac", 0.5, "with -chaos: tolerated non-OK fraction under fire")
 	)
 	flag.Parse()
 
 	if *compare && *url != "" {
 		log.Fatal("pimload: -compare boots its own servers; drop -url")
+	}
+	if *chaos {
+		if *url != "" || *compare {
+			log.Fatal("pimload: -chaos boots its own servers; drop -url/-compare")
+		}
+		o := chaosOpts{
+			profile: *profile, seed: *faultSeed,
+			model: *model, mode: *mode, conc: *conc, reqs: *reqs, rate: *rate,
+			recoverFrac: *recoverFrac, maxErrFrac: *maxErrFrac,
+		}
+		base := serve.Config{
+			Shards: *shards, Channels: *channels,
+			BatchWait: *batchWait, QueueDepth: *queueDepth,
+		}
+		if err := runChaos(o, base, *verify); err != nil {
+			log.Fatalf("pimload: %v", err)
+		}
+		return
 	}
 
 	srvCfg := func(maxBatch int) serve.Config {
@@ -109,7 +138,7 @@ func main() {
 	} else {
 		fmt.Print(rep)
 	}
-	if rep.Failures > 0 {
+	if rep.Failures > 0 || rep.BadOutputs > 0 {
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,14 @@
 //	curl -s -X POST localhost:8080/v1/infer \
 //	    -d '{"model":"micro-256x256","input":[0.5, ...]}'
 //
+// Fault drills (docs/FAULTS.md) run the same binary against a lying
+// memory: -fault-profile injects seeded bit flips, latency spikes and
+// shard outages, -ecc turns the on-die SEC-DED engine on without any
+// injection, and the retry/eviction knobs tune how the serving layer
+// rides the faults out:
+//
+//	pimserve -fault-profile chaos-mild -fault-seed 42
+//
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, then the
 // pipeline drains — every accepted request still gets its response.
 package main
@@ -24,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"pimsim/internal/fault"
 	"pimsim/internal/serve"
 )
 
@@ -38,6 +47,13 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "per-model admission queue depth")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-request deadline (queue + execute)")
 		drainWait  = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget")
+
+		ecc        = flag.Bool("ecc", false, "enable the on-die SEC-DED engine (implied by a corrupting fault profile)")
+		profile    = flag.String("fault-profile", "", "fault injection profile: none, chaos-mild, chaos-hard")
+		faultSeed  = flag.Int64("fault-seed", 42, "seed for the deterministic fault injector")
+		maxRetries = flag.Int("max-retries", 3, "re-dispatch attempts for a batch hit by a device fault")
+		evictAfter = flag.Int("evict-after", 2, "consecutive failures before a shard is evicted")
+		probeEvery = flag.Duration("probe-interval", 20*time.Millisecond, "probation probe cadence for evicted shards")
 	)
 	flag.Parse()
 
@@ -49,6 +65,18 @@ func main() {
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *timeout,
+		ECC:            *ecc,
+		MaxRetries:     *maxRetries,
+		EvictAfter:     *evictAfter,
+		ProbeInterval:  *probeEvery,
+	}
+	if *profile != "" {
+		fc, err := fault.Profile(*profile, *faultSeed)
+		if err != nil {
+			log.Fatalf("pimserve: %v", err)
+		}
+		cfg.Fault = &fc
+		log.Printf("pimserve: fault profile %s (seed %d)", *profile, *faultSeed)
 	}
 	boot := time.Now()
 	s, err := serve.New(cfg)

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"pimsim/internal/blas"
+	"pimsim/internal/fault"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
 	"pimsim/internal/memctrl"
@@ -81,6 +82,69 @@ func TestGoldenFunctionalGemv(t *testing.T) {
 		if g.got != g.want {
 			t.Errorf("device stat %s = %d, want %d", g.name, g.got, g.want)
 		}
+	}
+}
+
+// TestGoldenFaultInjectionReplay pins the fault layer itself: the same
+// functional GEMV as TestGoldenFunctionalGemv, with on-die ECC enabled
+// and a seeded transient-flip injector attached. Injection decisions are
+// pure functions of (seed, address, readout sequence), so two runs must
+// produce the identical fault pattern — and because every injected flip
+// is a single-bit upset, ECC corrects all of them and the output hash
+// and kernel cycle count stay exactly the clean golden values. Faults
+// cost corrections, never correctness and never (readout corruption is
+// post-array, pre-decode) simulated time.
+func TestGoldenFaultInjectionReplay(t *testing.T) {
+	run := func() (hash uint64, cycles, corrected, flips int64) {
+		cfg := hbm.PIMHBMConfig(1200)
+		cfg.PseudoChannels = 2
+		cfg.Functional = true
+		cfg.ECC = true
+		const M, K = 256, 512
+		W := fp16.NewVector(M * K)
+		x := fp16.NewVector(K)
+		for i := range W {
+			W[i] = fp16.FromFloat32(float32(i%13) * 0.1)
+		}
+		for i := range x {
+			x[i] = fp16.FromFloat32(float32(i%7) * 0.2)
+		}
+		dev := hbm.MustNewDevice(cfg)
+		inj := fault.New(fault.Config{Seed: 7, FlipRate: 1e-3})
+		dev.AttachFault(inj)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, ks, err := blas.PimGemv(rt, W, M, K, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		for _, v := range y {
+			h.Write([]byte{byte(v), byte(v >> 8)})
+		}
+		return h.Sum64(), ks.Cycles, dev.Stats().ECCCorrected, inj.Counters().BitFlips
+	}
+
+	hash, cycles, corrected, flips := run()
+	if want := uint64(0xe8f7a69c9c990aad); hash != want {
+		t.Errorf("output hash under correctable faults = %#x, want the clean golden %#x", hash, want)
+	}
+	if cycles != 11486 {
+		t.Errorf("kernel cycles under faults = %d, want the clean golden 11486", cycles)
+	}
+	if flips == 0 {
+		t.Error("injector flipped no bits — flip rate 1e-3 over this run cannot miss")
+	}
+	if corrected != flips {
+		t.Errorf("ECC corrected %d words but the injector flipped %d — every single-bit upset must be corrected", corrected, flips)
+	}
+
+	hash2, cycles2, corrected2, flips2 := run()
+	if hash2 != hash || cycles2 != cycles || corrected2 != corrected || flips2 != flips {
+		t.Errorf("replay diverged: (%#x, %d, %d, %d) then (%#x, %d, %d, %d)",
+			hash, cycles, corrected, flips, hash2, cycles2, corrected2, flips2)
 	}
 }
 

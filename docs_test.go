@@ -1,0 +1,109 @@
+package pimsim
+
+// Doc-consistency tests: docs/FAULTS.md is a contract document (the
+// error taxonomy, the fault profiles, the runbook's metric names), so
+// these tests pin its claims against the code. A rename that leaves the
+// doc behind fails here instead of silently rotting the runbook.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"pimsim/internal/fault"
+	"pimsim/internal/hbm"
+	"pimsim/internal/serve"
+)
+
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// TestFaultsDocTaxonomyMatchesTypes pins the taxonomy table to the
+// typed errors the code actually raises, spelled exactly as a reader
+// would import them.
+func TestFaultsDocTaxonomyMatchesTypes(t *testing.T) {
+	doc := readDoc(t, "docs/FAULTS.md")
+
+	// Compile-time proof the types the doc names still exist.
+	var _ *hbm.UncorrectableError
+	var _ *fault.ShardDeadError
+
+	for _, name := range []string{"hbm.UncorrectableError", "fault.ShardDeadError"} {
+		if !strings.Contains(doc, name) {
+			t.Errorf("docs/FAULTS.md does not name typed error %s", name)
+		}
+	}
+
+	// Every profile the code exposes is documented.
+	for _, p := range fault.ProfileNames() {
+		if !strings.Contains(doc, "`"+p+"`") {
+			t.Errorf("docs/FAULTS.md profile table missing %q (fault.ProfileNames)", p)
+		}
+	}
+
+	// The HTTP statuses the taxonomy table documents.
+	for _, code := range []string{"400", "429", "503", "504", "500"} {
+		if !strings.Contains(doc, "| "+code+" ") {
+			t.Errorf("docs/FAULTS.md taxonomy table missing status %s", code)
+		}
+	}
+}
+
+// TestFaultsDocMetricsExist boots a server with a corrupting fault
+// profile and checks that every metric name the runbook tells an
+// operator to watch is actually registered.
+func TestFaultsDocMetricsExist(t *testing.T) {
+	doc := readDoc(t, "docs/FAULTS.md")
+
+	fc, err := fault.Profile("chaos-mild", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Shards: 1, Channels: 2, ECC: true, Fault: &fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	snap := s.Metrics().Snapshot()
+	known := make(map[string]bool)
+	for name := range snap.Counters {
+		known[name] = true
+	}
+	for name := range snap.Gauges {
+		known[name] = true
+	}
+
+	// Every `serve_...` / `fault_...` name the runbook cites in backticks
+	// must be registered under exactly that name.
+	cited := 0
+	for _, f := range strings.Fields(doc) {
+		name := strings.Trim(f, "`,.")
+		if !strings.HasPrefix(name, "serve_") && !strings.HasPrefix(name, "fault_") {
+			continue
+		}
+		cited++
+		if !known[name] {
+			t.Errorf("docs/FAULTS.md cites metric %q, not registered by the server", name)
+		}
+	}
+	if cited < 10 {
+		t.Errorf("docs/FAULTS.md cites only %d serve_/fault_ metrics; runbook section missing?", cited)
+	}
+}
+
+// TestReadmeLinksFaultsDoc keeps the fault story reachable from the
+// front page.
+func TestReadmeLinksFaultsDoc(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	if !strings.Contains(readme, "docs/FAULTS.md") {
+		t.Error("README.md does not link docs/FAULTS.md")
+	}
+}

@@ -50,8 +50,9 @@ type Driver struct {
 	// scratch allocate from the same region, so spans must be freeable
 	// individually — a bump pointer would leak rows across repeated model
 	// load/unload cycles.
-	pimFree  []rowSpan
-	pimAlloc map[uint32]uint32 // base row -> span length
+	pimFree     []rowSpan
+	pimAlloc    map[uint32]uint32 // base row -> span length
+	quarantined []rowSpan         // rows retired by QuarantinePIMRows (sorted)
 
 	hostNext  uint64 // bump allocator for host regions (address space)
 	hostLimit uint64
@@ -203,6 +204,66 @@ func (d *Driver) FreePIMRows(base uint32) error {
 	return nil
 }
 
+// QuarantinePIMRows permanently retires n consecutive rows starting at
+// base from the PIM allocator — the ECC-backed recovery path for rows
+// with uncorrectable (stuck multi-bit) faults. The rows must currently
+// be free: a model still resident on a faulty row is unloaded first,
+// then its row quarantined, then the model reloaded (first-fit skips
+// the hole). Quarantined rows never return, not even via FreeAllPIMRows.
+func (d *Driver) QuarantinePIMRows(base uint32, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("driver: non-positive quarantine count")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := base + uint32(n)
+	for i := range d.pimFree {
+		s := &d.pimFree[i]
+		if base < s.Base || end > s.Base+s.N {
+			continue
+		}
+		// Split the span around [base, end).
+		tail := rowSpan{Base: end, N: s.Base + s.N - end}
+		s.N = base - s.Base
+		if s.N == 0 {
+			if tail.N == 0 {
+				d.pimFree = append(d.pimFree[:i], d.pimFree[i+1:]...)
+			} else {
+				*s = tail
+			}
+		} else if tail.N > 0 {
+			d.pimFree = append(d.pimFree, rowSpan{})
+			copy(d.pimFree[i+2:], d.pimFree[i+1:])
+			d.pimFree[i+1] = tail
+		}
+		j := 0
+		for j < len(d.quarantined) && d.quarantined[j].Base < base {
+			j++
+		}
+		d.quarantined = append(d.quarantined, rowSpan{})
+		copy(d.quarantined[j+1:], d.quarantined[j:])
+		d.quarantined[j] = rowSpan{Base: base, N: uint32(n)}
+		return nil
+	}
+	for b, nn := range d.pimAlloc {
+		if base >= b && base < b+nn {
+			return fmt.Errorf("driver: QuarantinePIMRows(%d,%d): rows are live; unload the owner first", base, n)
+		}
+	}
+	return fmt.Errorf("driver: QuarantinePIMRows(%d,%d): rows outside the free PIM region", base, n)
+}
+
+// PIMRowsQuarantined returns how many PIM rows have been retired.
+func (d *Driver) PIMRowsQuarantined() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n uint32
+	for _, s := range d.quarantined {
+		n += s.N
+	}
+	return int(n)
+}
+
 // FreeAllPIMRows releases every PIM row reservation (system teardown).
 // Kernels and model handles free their own spans with FreePIMRows; this
 // remains for tests and full resets only — on a live serving shard it
@@ -212,8 +273,17 @@ func (d *Driver) FreeAllPIMRows() {
 	defer d.mu.Unlock()
 	d.pimAlloc = make(map[uint32]uint32)
 	d.pimFree = nil
-	if d.confRowBase > d.pimRowBase {
-		d.pimFree = []rowSpan{{Base: d.pimRowBase, N: d.confRowBase - d.pimRowBase}}
+	// Quarantined rows stay retired across a full reset: re-carve the
+	// holes (d.quarantined is sorted and disjoint by construction).
+	next := d.pimRowBase
+	for _, q := range d.quarantined {
+		if q.Base > next {
+			d.pimFree = append(d.pimFree, rowSpan{Base: next, N: q.Base - next})
+		}
+		next = q.Base + q.N
+	}
+	if d.confRowBase > next {
+		d.pimFree = append(d.pimFree, rowSpan{Base: next, N: d.confRowBase - next})
 	}
 }
 

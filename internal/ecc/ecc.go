@@ -8,7 +8,28 @@
 //
 // Because each PIM execution unit reads and writes at the same 32-byte
 // granularity as the host (Section VIII), the same engine serves both
-// paths: a 32-byte column access checks four words.
+// paths: a 32-byte column access checks four words (WordsPerBlock).
+//
+// Code word layout: 72 bits per word — positions 0..63 carry data,
+// 64..70 the seven Hamming check bits, 71 the overall parity bit that
+// upgrades single-error-correct to double-error-detect. Decode's
+// guarantees, exercised exhaustively by the tests:
+//
+//   - a clean word decodes OK and returns the data unchanged;
+//   - any single flipped bit (data or parity) decodes Corrected and
+//     returns the original data;
+//   - any two distinct flipped bits decode Uncorrectable — all
+//     C(72,2) = 2556 pairs, pinned by TestAllPairsDoubleBitDetection;
+//   - three or more flips are outside the guarantee (may miscorrect),
+//     as for any SEC-DED code.
+//
+// The device's read path (hbm's ECC datapath) decodes after fault
+// injection and scrubs on correction: a corrected word is written back
+// with fresh parity, so a transient flip is healed while a stuck cell
+// simply re-corrupts the next read. Uncorrectable words abort the
+// access with a typed hbm.UncorrectableError naming the location —
+// corrupt data is never forwarded. See docs/FAULTS.md for the
+// system-level story.
 package ecc
 
 import "math/bits"

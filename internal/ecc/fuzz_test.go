@@ -1,0 +1,74 @@
+package ecc
+
+import "testing"
+
+// flipCodeword flips one bit of the 72-bit codeword: positions 0..63 are
+// data bits, 64..71 are the stored parity bits (71 being the overall
+// parity). This is the fault model the hbm read path exercises — a flip
+// can land anywhere in the stored word, parity included.
+func flipCodeword(w uint64, p uint8, pos int) (uint64, uint8) {
+	if pos < 64 {
+		return w ^ (1 << pos), p
+	}
+	return w, p ^ (1 << (pos - 64))
+}
+
+// TestAllPairsDoubleBitDetection proves the DED half of SEC-DED
+// exhaustively: every one of the C(72,2) = 2556 distinct bit pairs in
+// the codeword must decode as Uncorrectable — never as OK (silent
+// corruption) and never as Corrected (miscorrection into a third wrong
+// word). The random-pair test covers the same property statistically;
+// this one closes it.
+func TestAllPairsDoubleBitDetection(t *testing.T) {
+	words := []uint64{0, ^uint64(0), 0xA5A5A5A5A5A5A5A5, 0x0123456789ABCDEF}
+	for _, w := range words {
+		p := Encode(w)
+		for i := 0; i < 72; i++ {
+			for j := i + 1; j < 72; j++ {
+				cw, cp := flipCodeword(w, p, i)
+				cw, cp = flipCodeword(cw, cp, j)
+				if _, st := Decode(cw, cp); st != Uncorrectable {
+					t.Fatalf("word %#x, flips at %d+%d: status %v, want uncorrectable", w, i, j, st)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecode drives the full SEC-DED contract from arbitrary words and
+// flip positions: a clean codeword decodes OK, any single flip (data or
+// parity) is corrected back to the original data, and any two distinct
+// flips are detected as uncorrectable. The seed corpus in
+// testdata/fuzz/FuzzDecode pins the boundary positions (bit 0, the
+// data/parity seam at 63/64, the overall parity bit 71).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), byte(0), byte(0))
+	f.Add(^uint64(0), byte(71), byte(71))
+	f.Add(uint64(0xDEADBEEFCAFEF00D), byte(63), byte(64))
+	f.Add(uint64(1), byte(3), byte(12))
+	f.Fuzz(func(t *testing.T, w uint64, b1, b2 byte) {
+		p1, p2 := int(b1)%72, int(b2)%72
+		p := Encode(w)
+
+		if got, st := Decode(w, p); st != OK || got != w {
+			t.Fatalf("clean decode of %#x: (%#x, %v), want (%#x, ok)", w, got, st, w)
+		}
+
+		cw, cp := flipCodeword(w, p, p1)
+		got, st := Decode(cw, cp)
+		if st != Corrected {
+			t.Fatalf("single flip at %d in %#x: status %v, want corrected", p1, w, st)
+		}
+		if got != w {
+			t.Fatalf("single flip at %d in %#x: corrected to %#x, want %#x", p1, w, got, w)
+		}
+
+		if p1 == p2 {
+			return // same bit twice is no error at all, covered above
+		}
+		cw, cp = flipCodeword(cw, cp, p2)
+		if _, st := Decode(cw, cp); st != Uncorrectable {
+			t.Fatalf("double flip at %d+%d in %#x: status %v, want uncorrectable", p1, p2, w, st)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"errors"
+	"math/bits"
+	"testing"
+)
+
+func corrupt(in *Injector, seq int64, data []byte) {
+	in.CorruptReadout(0, 0, 100, 2, seq, data)
+}
+
+// Same config + same access sequence must produce identical corruption:
+// the replay property every chaos golden rests on.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 7, FlipRate: 0.05, DoubleFlipRate: 0.01}
+	run := func() ([]byte, Counters) {
+		in := New(cfg)
+		buf := make([]byte, 32)
+		for seq := int64(0); seq < 2000; seq++ {
+			corrupt(in, seq, buf)
+		}
+		return buf, in.Counters()
+	}
+	b1, c1 := run()
+	b2, c2 := run()
+	if string(b1) != string(b2) {
+		t.Fatalf("corruption not reproducible: % x vs % x", b1, b2)
+	}
+	if c1 != c2 {
+		t.Fatalf("counters not reproducible: %+v vs %+v", c1, c2)
+	}
+	if c1.BitFlips == 0 || c1.DoubleFlips == 0 {
+		t.Fatalf("expected both flip kinds at these rates, got %+v", c1)
+	}
+}
+
+// Different seeds must draw different fault streams.
+func TestSeedChangesPattern(t *testing.T) {
+	mk := func(seed int64) []byte {
+		in := New(Config{Seed: seed, FlipRate: 0.05})
+		buf := make([]byte, 32)
+		for seq := int64(0); seq < 500; seq++ {
+			corrupt(in, seq, buf)
+		}
+		return buf
+	}
+	if string(mk(1)) == string(mk(2)) {
+		t.Fatal("seeds 1 and 2 produced identical corruption")
+	}
+}
+
+// Flip decisions are per-site hashes, not a shared stream: the same
+// (address, seq) site corrupts the same way regardless of what other
+// sites were visited first. This is what makes injection independent of
+// kernel scheduling order under parallel channels.
+func TestOrderIndependence(t *testing.T) {
+	cfg := Config{Seed: 3, FlipRate: 0.2}
+	probe := func(visitOthersFirst bool) []byte {
+		in := New(cfg)
+		if visitOthersFirst {
+			scratch := make([]byte, 32)
+			for seq := int64(0); seq < 100; seq++ {
+				in.CorruptReadout(1, 5, 77, 3, seq, scratch)
+			}
+		}
+		buf := make([]byte, 32)
+		corrupt(in, 42, buf)
+		return buf
+	}
+	if string(probe(false)) != string(probe(true)) {
+		t.Fatal("corruption at a site depends on unrelated earlier accesses")
+	}
+}
+
+// A single-flip site flips exactly one bit; a double-flip site flips
+// exactly two bits of one 64-bit word.
+func TestFlipShapes(t *testing.T) {
+	in := New(Config{Seed: 11, FlipRate: 0.5})
+	singles, doubles := 0, 0
+	for seq := int64(0); seq < 400; seq++ {
+		buf := make([]byte, 32)
+		corrupt(in, seq, buf)
+		for w := 0; w < 4; w++ {
+			n := 0
+			for _, b := range buf[8*w : 8*w+8] {
+				n += bits.OnesCount8(b)
+			}
+			switch n {
+			case 0:
+			case 1:
+				singles++
+			default:
+				t.Fatalf("seq %d word %d: %d bits flipped by single-flip config", seq, w, n)
+			}
+		}
+	}
+	if singles == 0 {
+		t.Fatal("no flips at rate 0.5")
+	}
+
+	in2 := New(Config{Seed: 11, DoubleFlipRate: 0.5})
+	for seq := int64(0); seq < 400; seq++ {
+		buf := make([]byte, 32)
+		corrupt(in2, seq, buf)
+		for w := 0; w < 4; w++ {
+			n := 0
+			for _, b := range buf[8*w : 8*w+8] {
+				n += bits.OnesCount8(b)
+			}
+			switch n {
+			case 0:
+			case 2:
+				doubles++
+			default:
+				t.Fatalf("seq %d word %d: %d bits flipped by double-flip config", seq, w, n)
+			}
+		}
+	}
+	if doubles == 0 {
+		t.Fatal("no double flips at rate 0.5")
+	}
+}
+
+// Observed flip rate should be in the neighbourhood of the configured
+// per-word rate (binomial, n = 40000 words, generous bounds).
+func TestFlipRateSanity(t *testing.T) {
+	in := New(Config{Seed: 5, FlipRate: 0.01})
+	buf := make([]byte, 32)
+	const readouts = 10000
+	for seq := int64(0); seq < readouts; seq++ {
+		corrupt(in, seq, buf)
+	}
+	got := in.Counters().BitFlips
+	want := float64(readouts) * 4 * 0.01 // 400
+	if float64(got) < want/2 || float64(got) > want*2 {
+		t.Fatalf("flip count %d far from expected ~%.0f", got, want)
+	}
+}
+
+func TestStuckBits(t *testing.T) {
+	in := New(Config{Seed: 1, Stuck: []StuckBit{
+		{Shard: -1, Channel: -1, Bank: 2, Row: 9, Col: 4, Bit: 13},
+		{Shard: -1, Channel: 1, Bank: 2, Row: 9, Col: 4, Bit: 70},
+	}})
+	buf := make([]byte, 32)
+	// Channel 0 sees only the channel-wildcard cell.
+	in.CorruptReadout(0, 2, 9, 4, 0, buf)
+	if buf[13/8] != 1<<(13%8) {
+		t.Fatalf("wildcard stuck bit not applied: % x", buf)
+	}
+	buf[13/8] = 0
+	// Channel 1 sees both.
+	in.CorruptReadout(1, 2, 9, 4, 1, buf)
+	if buf[13/8] != 1<<(13%8) || buf[70/8] != 1<<(70%8) {
+		t.Fatalf("channel-targeted stuck bits wrong: % x", buf)
+	}
+	// Other addresses untouched.
+	clean := make([]byte, 32)
+	in.CorruptReadout(0, 2, 9, 5, 2, clean)
+	in.CorruptReadout(0, 3, 9, 4, 3, clean)
+	for _, b := range clean {
+		if b != 0 {
+			t.Fatalf("stuck bits leaked to other addresses: % x", clean)
+		}
+	}
+	if in.Counters().StuckReads != 2 {
+		t.Fatalf("StuckReads = %d, want 2", in.Counters().StuckReads)
+	}
+}
+
+func TestSpikeSchedule(t *testing.T) {
+	in := New(Config{Seed: 1, SpikeEvery: 10, SpikeCycles: 500})
+	var total int64
+	for seq := int64(1); seq <= 100; seq++ {
+		total += in.ExtraIssueCycles(0, seq, 0)
+	}
+	if total != 10*500 {
+		t.Fatalf("total spike cycles = %d, want %d", total, 10*500)
+	}
+	if in.Counters().Spikes != 10 {
+		t.Fatalf("Spikes = %d, want 10", in.Counters().Spikes)
+	}
+	if New(Config{}).ExtraIssueCycles(0, 10, 0) != 0 {
+		t.Fatal("zero config injected a spike")
+	}
+}
+
+// The outage lifecycle: alive for DieAfterBatches-1 batches, then dead
+// for batches and probes until ReviveAfterProbes probes have failed,
+// then permanently alive.
+func TestOutageLifecycle(t *testing.T) {
+	in := New(Config{Shard: 3, DieAfterBatches: 3, ReviveAfterProbes: 2})
+	if err := in.BatchErr(); err != nil {
+		t.Fatalf("batch 1 should pass: %v", err)
+	}
+	if err := in.BatchErr(); err != nil {
+		t.Fatalf("batch 2 should pass: %v", err)
+	}
+	err := in.BatchErr()
+	var dead *ShardDeadError
+	if !errors.As(err, &dead) || dead.Shard != 3 {
+		t.Fatalf("batch 3 should die with ShardDeadError{3}, got %v", err)
+	}
+	if err := in.BatchErr(); err == nil {
+		t.Fatal("batch 4 should still be dead")
+	}
+	if err := in.ProbeErr(); err == nil {
+		t.Fatal("probe 1 should fail")
+	}
+	if err := in.ProbeErr(); err == nil {
+		t.Fatal("probe 2 should fail")
+	}
+	if err := in.ProbeErr(); err != nil {
+		t.Fatalf("probe 3 should pass (revived): %v", err)
+	}
+	if err := in.BatchErr(); err != nil {
+		t.Fatalf("post-revival batch should pass: %v", err)
+	}
+	c := in.Counters()
+	if c.DeadBatches != 2 || c.DeadProbes != 2 {
+		t.Fatalf("outage counters %+v, want 2 dead batches / 2 dead probes", c)
+	}
+
+	// ReviveAfterProbes == 0: never comes back.
+	in2 := New(Config{DieAfterBatches: 1})
+	if err := in2.BatchErr(); err == nil {
+		t.Fatal("immediate death expected")
+	}
+	for i := 0; i < 5; i++ {
+		if err := in2.ProbeErr(); err == nil {
+			t.Fatal("shard with ReviveAfterProbes=0 revived")
+		}
+	}
+}
+
+func TestForShard(t *testing.T) {
+	base := Config{
+		Seed: 9, FlipRate: 1e-3,
+		SpikeShard: 1, SpikeEvery: 100, SpikeCycles: 10,
+		DeadShard: 0, DieAfterBatches: 5, ReviveAfterProbes: 2, HangMs: 1,
+		Stuck: []StuckBit{
+			{Shard: -1, Bank: 0, Row: 1, Col: 0, Bit: 0},
+			{Shard: 2, Bank: 0, Row: 2, Col: 0, Bit: 1},
+		},
+	}
+	s0 := base.ForShard(0)
+	if s0.DieAfterBatches != 5 || s0.SpikeEvery != 0 || len(s0.Stuck) != 1 {
+		t.Fatalf("shard 0 specialization wrong: %+v", s0)
+	}
+	s1 := base.ForShard(1)
+	if s1.DieAfterBatches != 0 || s1.HangMs != 0 || s1.SpikeEvery != 100 {
+		t.Fatalf("shard 1 specialization wrong: %+v", s1)
+	}
+	s2 := base.ForShard(2)
+	if len(s2.Stuck) != 2 {
+		t.Fatalf("shard 2 should keep both stuck cells, got %+v", s2.Stuck)
+	}
+	if s0.Seed == s1.Seed {
+		t.Fatal("shards share a fault seed")
+	}
+	if !s1.Enabled() || !s1.CorruptsData() {
+		t.Fatal("specialized config lost its flip rate")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range ProfileNames() {
+		cfg, err := Profile(name, 42)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+		if name == "none" && cfg.Enabled() {
+			t.Fatal("profile none should inject nothing")
+		}
+		if name != "none" && !cfg.Enabled() {
+			t.Fatalf("profile %s injects nothing", name)
+		}
+	}
+	mild, _ := Profile("chaos-mild", 1)
+	if mild.DoubleFlipRate != 0 {
+		t.Fatal("chaos-mild must stay within SEC-DED correction (no double flips)")
+	}
+	if _, err := Profile("bogus", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestZeroConfigIsInert(t *testing.T) {
+	in := New(Config{})
+	buf := make([]byte, 32)
+	corrupt(in, 1, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("zero config corrupted data")
+		}
+	}
+	if err := in.BatchErr(); err != nil {
+		t.Fatalf("zero config killed a batch: %v", err)
+	}
+	if err := in.ProbeErr(); err != nil {
+		t.Fatalf("zero config failed a probe: %v", err)
+	}
+	if (in.Counters() != Counters{}) {
+		t.Fatalf("zero config counted something: %+v", in.Counters())
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+}

@@ -16,7 +16,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	d := &Device{cfg: cfg, pchs: make([]*PseudoChannel, cfg.PseudoChannels)}
 	for i := range d.pchs {
-		d.pchs[i] = newPCH(&d.cfg)
+		d.pchs[i] = newPCH(&d.cfg, i)
 	}
 	return d, nil
 }
@@ -44,6 +44,15 @@ func (d *Device) PCH(i int) *PseudoChannel {
 
 // NumPCH returns the number of pseudo channels.
 func (d *Device) NumPCH() int { return len(d.pchs) }
+
+// AttachFault connects a fault injector to every pseudo channel's
+// readout path (nil detaches). Channel indices passed to the injector
+// are the device's pseudo-channel indices.
+func (d *Device) AttachFault(f ReadFault) {
+	for _, p := range d.pchs {
+		p.fault = f
+	}
+}
 
 // Stats sums the counters across all pseudo channels.
 func (d *Device) Stats() Stats {

@@ -12,6 +12,36 @@ import (
 // possible precisely because PIM accesses memory at the host's
 // granularity.
 
+// UncorrectableError reports a multi-bit error the SEC-DED engine
+// detected but could not correct. The poisoned data is never forwarded;
+// the error propagates up through memctrl, the runtime and blas to the
+// serving layer, which treats it as retryable (another shard holds a
+// clean replica of the same weights).
+type UncorrectableError struct {
+	Channel int    // pseudo channel index within the device
+	Bank    int    // flat bank index (bg*BanksPerGroup + bank)
+	Row     uint32 // open row the readout came from
+	Col     uint32 // 32-byte column within the row
+}
+
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("hbm: uncorrectable ECC error at ch%d bank %d row %d col %d",
+		e.Channel, e.Bank, e.Row, e.Col)
+}
+
+// ReadFault is the fault-injection hook on the row-buffer readout path.
+// When attached (AttachFault), it is invoked for every functional
+// 32-byte readout with the freshly copied data, after the array read
+// and before the ECC decode — corrupting the readout, never the stored
+// cells, exactly like a transient upset or weak cell. seq is the
+// channel's monotonically increasing BankReads count, giving the
+// injector a deterministic, scheduling-independent stream position.
+// Implementations must be safe for concurrent calls from different
+// channels. internal/fault provides the standard implementation.
+type ReadFault interface {
+	CorruptReadout(channel, bank int, row, col uint32, seq int64, data []byte)
+}
+
 // bankWriteData stores a 32-byte block at the open row's column,
 // generating ECC check bits when the engine is enabled.
 func (p *PseudoChannel) bankWriteData(b *bank, col uint32, data []byte) error {
@@ -28,12 +58,16 @@ func (p *PseudoChannel) bankWriteData(b *bank, col uint32, data []byte) error {
 }
 
 // bankReadData loads a 32-byte block from the open row's column into buf,
+// applying the attached fault injector to the readout copy and then
 // checking and correcting through the ECC engine when enabled. A
-// double-bit error is reported as a device error (the poisoned data is
-// not forwarded silently).
-func (p *PseudoChannel) bankReadData(b *bank, col uint32, buf []byte) error {
+// double-bit error is reported as a typed *UncorrectableError (the
+// poisoned data is not forwarded silently).
+func (p *PseudoChannel) bankReadData(b *bank, bankIdx int, col uint32, buf []byte) error {
 	off := int(col) * p.cfg.AccessBytes
 	copy(buf[:p.cfg.AccessBytes], b.row(b.openRow, p.cfg.RowBytes)[off:])
+	if p.fault != nil {
+		p.fault.CorruptReadout(p.id, bankIdx, b.openRow, col, p.stats.BankReads, buf[:p.cfg.AccessBytes])
+	}
 	if !p.cfg.ECC {
 		return nil
 	}
@@ -43,7 +77,7 @@ func (p *PseudoChannel) bankReadData(b *bank, col uint32, buf []byte) error {
 	p.stats.ECCCorrected += int64(corrected)
 	if uncorrectable {
 		p.stats.ECCUncorrectable++
-		return fmt.Errorf("hbm: uncorrectable ECC error at row %d col %d", b.openRow, col)
+		return &UncorrectableError{Channel: p.id, Bank: bankIdx, Row: b.openRow, Col: col}
 	}
 	if corrected > 0 {
 		// Scrub: write the corrected data (and fresh parity) back.

@@ -2,7 +2,10 @@ package hbm
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"pimsim/internal/fault"
 )
 
 func eccConfig() Config {
@@ -60,11 +63,75 @@ func TestECCDoubleBitRejected(t *testing.T) {
 	if err := s.p.InjectBitError(0, 0, 3, 0, 17); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.issueErr(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0}); err == nil {
+	err := s.issueErr(Command{Kind: CmdRD, BG: 0, Bank: 0, Col: 0})
+	if err == nil {
 		t.Fatal("poisoned data forwarded silently")
+	}
+	var ue *UncorrectableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error is %T, want *UncorrectableError", err)
+	}
+	if ue.Channel != 0 || ue.Bank != 0 || ue.Row != 3 || ue.Col != 0 {
+		t.Errorf("error fields %+v, want ch0 bank0 row3 col0", ue)
 	}
 	if got := s.p.Stats().ECCUncorrectable; got != 1 {
 		t.Errorf("uncorrectable count = %d", got)
+	}
+}
+
+// An attached injector that flips one bit per word corrupts only the
+// readout: ECC corrects every word, the stored array stays clean, and
+// the error counters account each correction.
+func TestReadFaultHookCorrectedByECC(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	payload := bytes.Repeat([]byte{0x5A, 0xC3}, 16)
+	s.issue(Command{Kind: CmdACT, BG: 1, Bank: 2, Row: 10})
+	s.issue(Command{Kind: CmdWR, BG: 1, Bank: 2, Col: 4, Data: payload})
+
+	s.p.AttachFault(fault.New(fault.Config{Seed: 9, FlipRate: 1.0}))
+	res := s.issue(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 4})
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatalf("injected flips not corrected: %x", res.Data)
+	}
+	if got := s.p.Stats().ECCCorrected; got != 4 {
+		t.Errorf("corrected count = %d, want 4 (one per code word)", got)
+	}
+	// Readout-only corruption: detach the injector and the data is clean
+	// (the array was never touched, so nothing needed scrubbing).
+	s.p.AttachFault(nil)
+	res = s.issue(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 4})
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatalf("stored array corrupted by readout injection: %x", res.Data)
+	}
+	if got := s.p.Stats().ECCCorrected; got != 4 {
+		t.Errorf("clean re-read corrected something: count = %d", got)
+	}
+}
+
+// Two stuck bits in one code word are persistently uncorrectable: every
+// read of that block fails with the typed error carrying the address,
+// and scrubbing cannot fix it (the corruption rides the readout).
+func TestReadFaultStuckUncorrectable(t *testing.T) {
+	s := newTestPCH(t, eccConfig())
+	s.issue(Command{Kind: CmdACT, BG: 1, Bank: 2, Row: 20})
+	s.issue(Command{Kind: CmdWR, BG: 1, Bank: 2, Col: 3, Data: make([]byte, 32)})
+	flatBank := 1*4 + 2
+	s.p.AttachFault(fault.New(fault.Config{Seed: 1, Stuck: []fault.StuckBit{
+		{Shard: -1, Channel: -1, Bank: flatBank, Row: 20, Col: 3, Bit: 64},
+		{Shard: -1, Channel: -1, Bank: flatBank, Row: 20, Col: 3, Bit: 70},
+	}}))
+	for attempt := 0; attempt < 2; attempt++ {
+		err := s.issueErr(Command{Kind: CmdRD, BG: 1, Bank: 2, Col: 3})
+		var ue *UncorrectableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("attempt %d: error is %T (%v), want *UncorrectableError", attempt, err, err)
+		}
+		if ue.Channel != 0 || ue.Bank != flatBank || ue.Row != 20 || ue.Col != 3 {
+			t.Fatalf("attempt %d: error fields %+v", attempt, ue)
+		}
+	}
+	if got := s.p.Stats().ECCUncorrectable; got != 2 {
+		t.Errorf("uncorrectable count = %d, want 2 (stuck cell persists)", got)
 	}
 }
 

@@ -130,10 +130,12 @@ type PIMExecutor interface {
 // behind a 64-bit data path, plus the PIM mode logic.
 type PseudoChannel struct {
 	cfg   *Config
+	id    int    // channel index within the device (labels ECC errors)
 	banks []bank // flat: bg*BanksPerGroup + bank
 	mode  Mode
 
-	exec PIMExecutor
+	exec  PIMExecutor
+	fault ReadFault // nil: no injection (one pointer compare per readout)
 
 	// Channel- and group-level timing state.
 	colAllowedS int64   // next column under tCCD_S (channel-wide)
@@ -175,10 +177,11 @@ type BankOps struct {
 	WR  int64
 }
 
-// newPCH builds a pseudo channel for cfg.
-func newPCH(cfg *Config) *PseudoChannel {
+// newPCH builds pseudo channel id for cfg.
+func newPCH(cfg *Config, id int) *PseudoChannel {
 	p := &PseudoChannel{
 		cfg:         cfg,
+		id:          id,
 		banks:       make([]bank, cfg.Banks()),
 		colAllowedL: make([]int64, cfg.BankGroups),
 		rdAllowedL:  make([]int64, cfg.BankGroups),
@@ -202,6 +205,10 @@ func newPCH(cfg *Config) *PseudoChannel {
 // AttachPIM connects the execution layer. It must be called before any
 // AB-PIM activity on a PIM-enabled configuration.
 func (p *PseudoChannel) AttachPIM(e PIMExecutor) { p.exec = e }
+
+// AttachFault connects a fault injector to the readout path (nil
+// detaches it). With no injector attached the read path is unchanged.
+func (p *PseudoChannel) AttachFault(f ReadFault) { p.fault = f }
 
 // Mode returns the current operating mode.
 func (p *PseudoChannel) Mode() Mode { return p.mode }
@@ -518,7 +525,7 @@ func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult
 	if cmd.Kind == CmdRD {
 		p.stats.BankReads++
 		if p.cfg.Functional {
-			if err := p.bankReadData(b, cmd.Col, p.colBuf); err != nil {
+			if err := p.bankReadData(b, idx, cmd.Col, p.colBuf); err != nil {
 				return res, err
 			}
 			res.Data = p.colBuf
@@ -602,7 +609,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 	}
 	p.stats.BankReads += int64(len(p.banks))
 	if p.cfg.Functional {
-		if err := p.bankReadData(&p.banks[0], cmd.Col, p.colBuf); err != nil {
+		if err := p.bankReadData(&p.banks[0], 0, cmd.Col, p.colBuf); err != nil {
 			return res, err
 		}
 		res.Data = p.colBuf
@@ -702,7 +709,7 @@ func (a *pchBankAccess) ReadBank(bankIdx int, col uint32, buf []byte) error {
 	}
 	p.stats.BankReads++
 	if p.cfg.Functional {
-		return p.bankReadData(b, col, buf)
+		return p.bankReadData(b, bankIdx, col, buf)
 	}
 	return nil
 }

@@ -41,6 +41,24 @@ type Channel struct {
 	// refresh machinery's own commands). ChannelID labels the events.
 	Trace     *trace.Recorder
 	ChannelID int
+
+	// Delay, when set, adds injected latency to command issue (fault
+	// injection: per-channel latency spikes). Like Trace it is a public
+	// hook field: nil costs one pointer compare per command.
+	Delay    Delayer
+	delaySeq int64 // commands seen by Delay (its deterministic clock)
+}
+
+// Delayer is the fault-injection hook on the command-issue path. For
+// every command (refresh machinery included) it returns extra cycles to
+// add on top of the earliest legal issue cycle — legal by construction,
+// since the device model accepts any issue cycle at or after the
+// earliest. seq counts the channel's delayer calls and now is the
+// pre-delay issue cycle, so implementations can build deterministic
+// schedules without wall-clock time. internal/fault provides the
+// standard implementation.
+type Delayer interface {
+	ExtraIssueCycles(channel int, seq, now int64) int64
 }
 
 // RefreshPostponeLimit is how many tREFI intervals a refresh may be
@@ -117,6 +135,12 @@ func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
 	at, err := c.pch.EarliestIssue(cmd, c.now)
 	if err != nil {
 		return hbm.IssueResult{}, err
+	}
+	if c.Delay != nil {
+		c.delaySeq++
+		if extra := c.Delay.ExtraIssueCycles(c.ChannelID, c.delaySeq, at); extra > 0 {
+			at += extra
+		}
 	}
 	res, err := c.pch.Issue(cmd, at)
 	if err != nil {

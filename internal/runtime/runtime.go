@@ -274,6 +274,28 @@ func (r *Runtime) CloseRows(ch int) error {
 	return err
 }
 
+// Recover restores a channel to single-bank mode with every bank
+// precharged. A kernel that fails mid-flight (an uncorrectable ECC word,
+// an injected fault) aborts wherever the error caught it — typically
+// AB-PIM mode with a weight row open — and the next launch's EnterAB
+// handshake would be illegal against that state. Recover is idempotent
+// and cheap on an already-clean channel: PREA, then unwind whatever mode
+// the channel is still in.
+func (r *Runtime) Recover(ch int) error {
+	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+		return err
+	}
+	if r.Chans[ch].PCH().Mode() == hbm.ModeABPIM {
+		if err := r.SetPIMMode(ch, false); err != nil {
+			return err
+		}
+	}
+	if r.Chans[ch].PCH().Mode() == hbm.ModeAB {
+		return r.ExitToSB(ch)
+	}
+	return nil
+}
+
 // TriggerRD issues a PIM-triggering column read. bankSel 0 drives the
 // even banks, 1 the odd banks.
 func (r *Runtime) TriggerRD(ch, bankSel int, col uint32) error {

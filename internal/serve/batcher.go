@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"pimsim/internal/blas"
 	"pimsim/internal/fp16"
 )
 
@@ -25,9 +26,46 @@ func (s *Server) batcher(m *model) {
 		}
 		s.queueDepth.Add(0, -1)
 		batch := s.collect(m, first)
-		sh := <-s.pool
+		sh := s.lease()
+		if sh == nil {
+			s.failBatch(batch, http.StatusServiceUnavailable, errDrainNoShards)
+			continue
+		}
 		s.wg.Add(1)
 		go s.runBatch(m, sh, batch)
+	}
+}
+
+// lease blocks until a shard is free. During a drain an empty pool may
+// never refill (its shards are evicted and the prober has stopped), so
+// after Close the wait is bounded and nil means "fail the batch 503" —
+// the zero-drop contract still holds, just with an honest error.
+func (s *Server) lease() *shard {
+	select {
+	case sh := <-s.pool:
+		return sh
+	case <-s.quit:
+	}
+	t := time.NewTimer(s.cfg.RetryLeaseWait)
+	defer t.Stop()
+	select {
+	case sh := <-s.pool:
+		return sh
+	case <-t.C:
+		return nil
+	}
+}
+
+var errDrainNoShards = errTxt("draining with no shard available")
+
+type errTxt string
+
+func (e errTxt) Error() string { return string(e) }
+
+// failBatch answers every request in the batch with one terminal error.
+func (s *Server) failBatch(batch []*request, status int, err error) {
+	for _, r := range batch {
+		r.resp <- response{status: status, err: err}
 	}
 }
 
@@ -55,40 +93,78 @@ func (s *Server) collect(m *model, first *request) []*request {
 	return batch
 }
 
-// runBatch is the worker: it owns the leased shard for one kernel launch.
-// Requests whose context expired while queued are answered 504 and never
-// touch the device; the survivors run as one ResidentGemv batch, one
-// request per channel.
+// runBatch is the worker: it owns a leased shard for one kernel launch,
+// and on a retryable device fault (uncorrectable ECC error, shard
+// outage) re-dispatches the surviving requests to another shard — up to
+// MaxRetries times with exponential, jittered backoff. Requests whose
+// context expired are answered 504 and never touch a device; every
+// other request gets exactly one terminal response here.
 func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 	defer s.wg.Done()
-	defer func() { s.pool <- sh }()
 
-	now := time.Now()
-	live := batch[:0]
-	for _, r := range batch {
-		if r.ctx.Err() != nil {
-			r.resp <- response{status: http.StatusGatewayTimeout, err: r.ctx.Err()}
-			continue
+	live := batch
+	for attempt := 0; ; attempt++ {
+		// Re-filter per attempt: a deadline can expire during backoff.
+		now := time.Now()
+		kept := live[:0]
+		for _, r := range live {
+			if r.ctx.Err() != nil {
+				r.resp <- response{status: http.StatusGatewayTimeout, err: r.ctx.Err()}
+				continue
+			}
+			kept = append(kept, r)
 		}
-		live = append(live, r)
-	}
-	if len(live) == 0 {
-		return
-	}
+		live = kept
+		if len(live) == 0 {
+			s.pool <- sh
+			return
+		}
 
+		ys, ks, err := s.attempt(m, sh, live)
+		if err == nil {
+			kernelNs := sh.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
+			s.noteSuccess(m, sh, ks.Cycles)
+			s.pool <- sh
+			s.reply(sh.id, live, ys, ks, kernelNs, now)
+			return
+		}
+
+		canRetry := retryable(err) && attempt < s.cfg.MaxRetries
+		s.recoverShard(sh)     // the abort left banks open / PIM mode on
+		s.noteFailure(sh, err) // hands the shard to the pool or the prober
+		if !canRetry {
+			s.failBatch(live, statusFor(err), err)
+			return
+		}
+		s.retries.Inc(0)
+		s.redispatched.Add(0, int64(len(live)))
+		time.Sleep(s.backoff(attempt))
+		if sh = s.leaseRetry(); sh == nil {
+			s.failBatch(live, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+}
+
+// attempt runs one kernel launch for the batch on one shard, folding
+// the shard's ECC counter movement into the serving metrics either way.
+func (s *Server) attempt(m *model, sh *shard, live []*request) ([]fp16.Vector, blas.KernelStats, error) {
+	if sh.inj != nil {
+		if err := sh.inj.BatchErr(); err != nil {
+			return nil, blas.KernelStats{}, err
+		}
+	}
 	xs := make([]fp16.Vector, len(live))
 	for i, r := range live {
 		xs[i] = r.x
 	}
 	ys, ks, err := sh.loaded[m.spec.Name].RunBatch(sh.rt, xs)
-	if err != nil {
-		for _, r := range live {
-			r.resp <- response{status: http.StatusInternalServerError, err: err}
-		}
-		return
-	}
+	s.collectShardECC(sh)
+	return ys, ks, err
+}
 
-	kernelNs := sh.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
+// reply delivers the batch's success responses and accounts metrics.
+func (s *Server) reply(shardID int, live []*request, ys []fp16.Vector, ks blas.KernelStats, kernelNs float64, now time.Time) {
 	s.batches.Inc(0)
 	s.deviceCycles.Add(0, ks.Cycles)
 	s.served.Add(0, int64(len(live)))
@@ -101,7 +177,7 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 			y:            ys[i],
 			status:       http.StatusOK,
 			batch:        len(live),
-			shard:        sh.id,
+			shard:        shardID,
 			kernelCycles: ks.Cycles,
 			kernelNs:     kernelNs,
 			queueUs:      waitUs,

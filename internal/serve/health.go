@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fault"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+)
+
+// Shard health.
+//
+// Every shard moves through a three-state machine driven by batch
+// outcomes and probation probes:
+//
+//	healthy ──slow kernel / 1 failure──▶ suspect
+//	suspect ──okProbation clean batches──▶ healthy
+//	suspect ──EvictAfter consecutive failures──▶ evicted
+//	evicted ──clean probation probe──▶ healthy  (back into the pool)
+//
+// Healthy and suspect shards stay in the pool and keep serving (a
+// suspect shard is slow or flaky, not wrong — ECC guarantees that).
+// An evicted shard is handed to the prober goroutine, which owns it
+// exclusively: every ProbeInterval it replays a known-answer batch on
+// every resident model and compares bit-for-bit against the software
+// oracle. A probe that fails with an uncorrectable ECC error triggers
+// the recovery path: unload the model whose weights sit on the poisoned
+// row, quarantine that row in the driver (permanently — first-fit skips
+// the hole, even across resets), and reload the weights onto clean rows.
+// Only a fully clean probe revives the shard.
+//
+// State transitions are guarded by Server.hmu; the pool channel is the
+// exclusion mechanism for the device itself (a shard is touched only by
+// the worker holding its lease, or by the prober after eviction).
+
+type healthState int32
+
+const (
+	shardHealthy healthState = iota
+	shardSuspect             // serving, but slow or recently failed
+	shardEvicted             // out of the pool, owned by the prober
+)
+
+func (h healthState) String() string {
+	switch h {
+	case shardHealthy:
+		return "healthy"
+	case shardSuspect:
+		return "suspect"
+	case shardEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("healthState(%d)", int32(h))
+}
+
+// okProbation is how many consecutive clean, fast batches a suspect
+// shard needs to be promoted back to healthy.
+const okProbation = 3
+
+// retryable classifies a batch error: device faults that a different
+// (or recovered) shard can absorb. Everything else — a programming
+// error, an invalid batch — would fail identically anywhere.
+func retryable(err error) bool {
+	var ue *hbm.UncorrectableError
+	var de *fault.ShardDeadError
+	return errors.As(err, &ue) || errors.As(err, &de)
+}
+
+// statusFor maps a terminal batch error to its HTTP status: retryable
+// device faults that exhausted every retry are a capacity problem
+// (503, the client should back off and return), anything else is 500.
+func statusFor(err error) int {
+	if retryable(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// noteSuccess records a clean batch: resets the failure streak, updates
+// the model's best-case latency baseline, and moves the shard along the
+// suspect/healthy axis. cycles is the batch kernel's slowest channel —
+// one request per channel, so it is also the per-request latency.
+func (s *Server) noteSuccess(m *model, sh *shard, cycles int64) {
+	base := m.minCycles.Load()
+	for base == 0 || cycles < base {
+		if m.minCycles.CompareAndSwap(base, cycles) {
+			break
+		}
+		base = m.minCycles.Load()
+	}
+	slow := base > 0 && float64(cycles) > s.cfg.SuspectCycleFactor*float64(base)
+
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	sh.consecFails = 0
+	switch sh.state {
+	case shardHealthy:
+		if slow {
+			sh.state = shardSuspect
+			sh.okStreak = 0
+			s.suspects.Inc(0)
+		}
+	case shardSuspect:
+		if slow {
+			sh.okStreak = 0
+			return
+		}
+		sh.okStreak++
+		if sh.okStreak >= okProbation {
+			sh.state = shardHealthy
+			sh.okStreak = 0
+		}
+	}
+}
+
+// noteFailure records a failed batch attempt and decides the shard's
+// fate: eviction (handed to the prober) once EvictAfter consecutive
+// failures accumulate, demotion to suspect otherwise. Either way the
+// shard leaves the caller's hands — do not touch it after this returns.
+func (s *Server) noteFailure(sh *shard, err error) {
+	s.hmu.Lock()
+	sh.consecFails++
+	sh.okStreak = 0
+	sh.lastErr = err
+	evict := sh.consecFails >= s.cfg.EvictAfter
+	if evict {
+		sh.state = shardEvicted
+		s.healthyG.Set(0, s.healthy.Add(-1))
+	} else if sh.state == shardHealthy {
+		sh.state = shardSuspect
+		s.suspects.Inc(0)
+	}
+	s.hmu.Unlock()
+
+	if evict {
+		s.evictions.Inc(0)
+		// Buffered to Shards and a shard is in at most one place, so
+		// this never blocks even after the prober has exited.
+		s.probeq <- sh
+	} else {
+		s.pool <- sh
+	}
+}
+
+// backoff returns the sleep before retry `attempt` (0-based):
+// exponential from RetryBackoff, capped, with ±50% jitter so competing
+// retries don't stampede the pool in lockstep.
+func (s *Server) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBackoff << uint(attempt)
+	if max := 50 * time.Millisecond; d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// leaseRetry acquires a replacement shard for a retry, bounded by
+// RetryLeaseWait: with every shard evicted there is nothing to wait
+// for, and the batch fails 503 rather than stalling its clients.
+func (s *Server) leaseRetry() *shard {
+	t := time.NewTimer(s.cfg.RetryLeaseWait)
+	defer t.Stop()
+	select {
+	case sh := <-s.pool:
+		return sh
+	case <-t.C:
+		return nil
+	}
+}
+
+// prober owns every evicted shard until it revives. It wakes every
+// ProbeInterval and re-probes its flock; shards that pass a full
+// known-answer check re-enter the pool.
+func (s *Server) prober() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	var flock []*shard
+	for {
+		select {
+		case <-s.quit:
+			return
+		case sh := <-s.probeq:
+			flock = append(flock, sh)
+		case <-ticker.C:
+			keep := flock[:0]
+			for _, sh := range flock {
+				if !s.probeShard(sh) {
+					keep = append(keep, sh)
+				}
+			}
+			flock = keep
+		}
+	}
+}
+
+// probeShard runs one probation probe and revives the shard on success.
+// Reports whether the shard left probation.
+func (s *Server) probeShard(sh *shard) bool {
+	s.probes.Inc(0)
+	err := s.runProbe(sh)
+	if err == nil {
+		sh.ueSeen = false
+		s.hmu.Lock()
+		sh.state = shardHealthy
+		sh.consecFails, sh.okStreak = 0, 0
+		sh.lastErr = nil
+		s.healthyG.Set(0, s.healthy.Add(1))
+		s.hmu.Unlock()
+		s.revivals.Inc(0)
+		s.pool <- sh
+		return true
+	}
+	s.hmu.Lock()
+	sh.lastErr = err
+	s.hmu.Unlock()
+	s.recoverShard(sh)
+	// An uncorrectable ECC fault names the poisoned row — but only
+	// quarantine it once a second consecutive probe blames the same row.
+	// A transient multi-bit upset names a random row exactly once and
+	// costs nothing to ride out; a stuck cell names its row every probe,
+	// and that persistence is what spends a quarantine slot.
+	var ue *hbm.UncorrectableError
+	if errors.As(err, &ue) {
+		if sh.ueSeen && sh.ueRow == ue.Row {
+			s.relocate(sh, ue)
+			sh.ueSeen = false
+		} else {
+			sh.ueRow, sh.ueSeen = ue.Row, true
+		}
+	} else {
+		sh.ueSeen = false
+	}
+	return false
+}
+
+// runProbe replays a known-answer batch for every resident model, one
+// request per channel so every channel's weight copy is exercised, and
+// compares bit-for-bit against the precomputed oracle.
+func (s *Server) runProbe(sh *shard) error {
+	if sh.inj != nil {
+		if err := sh.inj.ProbeErr(); err != nil {
+			return err
+		}
+	}
+	B := sh.rt.NumChannels()
+	for name, m := range s.mods {
+		g := sh.loaded[name]
+		xs := make([]fp16.Vector, B)
+		for i := range xs {
+			xs[i] = m.probeX
+		}
+		ys, _, err := g.RunBatch(sh.rt, xs)
+		s.collectShardECC(sh)
+		if err != nil {
+			return fmt.Errorf("probe %s: %w", name, err)
+		}
+		for ch, y := range ys {
+			if !vecEq(y, m.probeY) {
+				return fmt.Errorf("probe %s: output mismatch on shard %d channel %d", name, sh.id, ch)
+			}
+		}
+	}
+	return nil
+}
+
+func vecEq(a, b fp16.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relocate recovers from a permanently poisoned weight row: unload the
+// model resident on it, retire the row in the driver's allocator, and
+// lay the weights out again — first-fit lands them past the hole. The
+// shard stays evicted; the next probe decides whether it is clean now.
+func (s *Server) relocate(sh *shard, ue *hbm.UncorrectableError) {
+	for name, g := range sh.loaded {
+		base, n := g.RowRange()
+		if ue.Row < base || ue.Row >= base+uint32(n) {
+			continue
+		}
+		m := s.mods[name]
+		if err := g.Unload(sh.rt); err != nil {
+			return
+		}
+		if err := sh.rt.Drv.QuarantinePIMRows(ue.Row, 1); err == nil {
+			s.quarantinedG.Add(0, 1)
+		}
+		g2, err := blas.LoadGemv(sh.rt, m.W, m.spec.M, m.spec.K)
+		if err != nil {
+			// Out of rows: the stale handle keeps probes failing and the
+			// shard stays out of service, which is the honest outcome.
+			return
+		}
+		sh.loaded[name] = g2
+		return
+	}
+}
+
+// recoverShard unwinds an aborted kernel on every channel of a shard
+// (precharge all, exit PIM/AB modes) so the next launch starts from
+// clean single-bank state. Best effort: a channel that cannot even
+// recover keeps failing its probes and the shard stays out of service,
+// which is the honest outcome. Only the lease holder may call it.
+func (s *Server) recoverShard(sh *shard) {
+	for ch := range sh.rt.Chans {
+		_ = sh.rt.Recover(ch)
+	}
+}
+
+// collectShardECC folds the shard's cumulative device ECC counters into
+// the serving registry as deltas. Only the lease holder (worker or
+// prober) may call it: device stats are unsynchronized.
+func (s *Server) collectShardECC(sh *shard) {
+	var corr, unc int64
+	for _, c := range sh.rt.Chans {
+		st := c.PCH().Stats()
+		corr += st.ECCCorrected
+		unc += st.ECCUncorrectable
+	}
+	s.eccCorrC.Add(0, corr-sh.eccCorr)
+	s.eccUncorrC.Add(0, unc-sh.eccUncorr)
+	sh.eccCorr, sh.eccUncorr = corr, unc
+}
+
+// ShardStates snapshots each shard's health (indexed by shard id), for
+// /healthz and tests.
+func (s *Server) ShardStates() []string {
+	out := make([]string, len(s.shards))
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	for i, sh := range s.shards {
+		out[i] = sh.state.String()
+	}
+	return out
+}
+
+// HealthyShards returns how many shards are currently not evicted.
+func (s *Server) HealthyShards() int { return int(s.healthy.Load()) }

@@ -171,12 +171,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, time.Now(), http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	s.respond(w, time.Now(), http.StatusOK, map[string]any{
-		"status":    "ok",
-		"shards":    s.cfg.Shards,
-		"channels":  s.cfg.Channels,
-		"max_batch": s.cfg.MaxBatch,
-		"models":    s.Models(),
+	status, code := "ok", http.StatusOK
+	healthy := s.HealthyShards()
+	switch {
+	case healthy == 0:
+		// Still alive (the prober is working on revival), but serving
+		// nothing: load balancers should stop sending traffic.
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case healthy < s.cfg.Shards:
+		status = "degraded"
+	}
+	s.respond(w, time.Now(), code, map[string]any{
+		"status":         status,
+		"shards":         s.cfg.Shards,
+		"shards_healthy": healthy,
+		"shard_states":   s.ShardStates(),
+		"channels":       s.cfg.Channels,
+		"max_batch":      s.cfg.MaxBatch,
+		"models":         s.Models(),
 	})
 }
 

@@ -82,11 +82,13 @@ type Report struct {
 	Concurrency int     `json:"concurrency"`
 	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
 
-	Sent     int `json:"sent"`
-	OK       int `json:"ok"`
-	Rejected int `json:"rejected"` // 429 backpressure
-	Timeouts int `json:"timeouts"` // 504 deadline
-	Failures int `json:"failures"` // transport errors, 5xx, verify mismatches
+	Sent        int `json:"sent"`
+	OK          int `json:"ok"`
+	Rejected    int `json:"rejected"`    // 429 backpressure
+	Timeouts    int `json:"timeouts"`    // 504 deadline
+	Unavailable int `json:"unavailable"` // 503 no healthy shards / retries exhausted
+	BadOutputs  int `json:"bad_outputs"` // 200s whose data failed oracle verification
+	Failures    int `json:"failures"`    // transport errors and other 5xx
 
 	WallSeconds      float64 `json:"wall_seconds"`
 	ThroughputRPS    float64 `json:"throughput_rps"`     // OK / wall
@@ -123,7 +125,7 @@ func RunLoad(cfg LoadConfig) (*Report, error) {
 	queueH := reg.Histogram("queue_us", metrics.ExpBuckets(1, 2, 30))
 	cycH := reg.Histogram("kernel_cycles", metrics.ExpBuckets(64, 2, 26))
 
-	var okN, rejN, toN, failN, batchSum int64
+	var okN, rejN, toN, unavN, badN, failN, batchSum int64
 	var busyNs uint64 // device-busy ns attributable to OK responses, *1000 fixed point
 	var batchMu sync.Mutex
 	batchHist := map[int]int64{}
@@ -178,7 +180,10 @@ func RunLoad(cfg LoadConfig) (*Report, error) {
 				return
 			}
 			if cfg.Verify != nil && !outputsMatch(ir.Output, oracle[wkr]) {
-				atomic.AddInt64(&failN, 1)
+				// A 200 carrying wrong data is the one outcome the fault
+				// machinery may never produce; count it apart from mundane
+				// failures so chaos runs can assert exactly zero.
+				atomic.AddInt64(&badN, 1)
 				return
 			}
 			atomic.AddInt64(&okN, 1)
@@ -198,6 +203,8 @@ func RunLoad(cfg LoadConfig) (*Report, error) {
 			atomic.AddInt64(&rejN, 1)
 		case http.StatusGatewayTimeout:
 			atomic.AddInt64(&toN, 1)
+		case http.StatusServiceUnavailable:
+			atomic.AddInt64(&unavN, 1)
 		default:
 			atomic.AddInt64(&failN, 1)
 		}
@@ -271,6 +278,8 @@ func RunLoad(cfg LoadConfig) (*Report, error) {
 		OK:          int(okN),
 		Rejected:    int(rejN),
 		Timeouts:    int(toN),
+		Unavailable: int(unavN),
+		BadOutputs:  int(badN),
 		Failures:    int(failN),
 		WallSeconds: wall.Seconds(),
 		WallP50Us:   wallS.Quantile(0.50),
@@ -295,7 +304,7 @@ func RunLoad(cfg LoadConfig) (*Report, error) {
 	for b, n := range batchHist {
 		rep.BatchHistogram[fmt.Sprint(b)] = n
 	}
-	if got := rep.OK + rep.Rejected + rep.Timeouts + rep.Failures; got != rep.Sent {
+	if got := rep.OK + rep.Rejected + rep.Timeouts + rep.Unavailable + rep.BadOutputs + rep.Failures; got != rep.Sent {
 		return rep, fmt.Errorf("loadgen: dropped responses: sent %d, accounted %d", rep.Sent, got)
 	}
 	return rep, nil
@@ -333,8 +342,8 @@ func (r *Report) String() string {
 	if r.RatePerSec > 0 {
 		fmt.Fprintf(&b, ", %.0f req/s offered", r.RatePerSec)
 	}
-	fmt.Fprintf(&b, "\n  sent %d: %d ok, %d rejected (429), %d timeouts (504), %d failures\n",
-		r.Sent, r.OK, r.Rejected, r.Timeouts, r.Failures)
+	fmt.Fprintf(&b, "\n  sent %d: %d ok, %d rejected (429), %d timeouts (504), %d unavailable (503), %d bad outputs, %d failures\n",
+		r.Sent, r.OK, r.Rejected, r.Timeouts, r.Unavailable, r.BadOutputs, r.Failures)
 	fmt.Fprintf(&b, "  throughput  %.1f req/s wall, %.1f req/s simulated-device\n",
 		r.ThroughputRPS, r.SimThroughputRPS)
 	fmt.Fprintf(&b, "  wall latency  p50 %.0fus  p95 %.0fus  p99 %.0fus\n", r.WallP50Us, r.WallP95Us, r.WallP99Us)

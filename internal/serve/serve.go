@@ -20,6 +20,20 @@
 // the per-channel write datapath that all of a channel's execution units
 // share. Close drains in-flight work without dropping any accepted
 // request.
+//
+// The layer is fault-tolerant: device faults (uncorrectable ECC errors,
+// whole-shard outages — see internal/fault) surface as typed errors that
+// classify as retryable, and a failed batch is re-dispatched onto a
+// freshly leased shard with exponential backoff, up to Config.MaxRetries.
+// Shards move through a health machine (healthy -> suspect -> evicted ->
+// probation, see health.go) driven by batch outcomes; evicted shards are
+// owned by a prober goroutine that replays known-answer batches,
+// quarantines persistently poisoned weight rows (relocating the model to
+// clean rows), and revives shards only after a fully clean probe. With
+// zero healthy shards the service degrades to fast 503s and a 503
+// /healthz rather than queueing without bound. The invariant all of this
+// preserves: a 200 response never carries wrong data. The fault model,
+// error taxonomy, and ops runbook are documented in docs/FAULTS.md.
 package serve
 
 import (
@@ -28,9 +42,11 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pimsim/internal/blas"
+	"pimsim/internal/fault"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
 	"pimsim/internal/metrics"
@@ -96,6 +112,32 @@ type Config struct {
 	QueueDepth     int           // per-model admission queue (default 64)
 	RequestTimeout time.Duration // deadline incl. queueing (default 2s)
 	MaxBodyBytes   int64         // request body cap (default 8 MiB)
+
+	// Fault tolerance. ECC turns on every shard's on-die SEC-DED engine;
+	// Fault attaches a deterministic injector (specialized per shard via
+	// fault.Config.ForShard — profiles that corrupt data force ECC on, or
+	// served outputs would silently rot). See docs/FAULTS.md.
+	ECC   bool
+	Fault *fault.Config
+
+	// MaxRetries bounds how many times a batch that failed with a
+	// retryable device error (hbm.UncorrectableError, fault.ShardDeadError)
+	// is re-dispatched to another shard (default 3; negative disables).
+	// RetryBackoff is the base of the exponential inter-attempt sleep
+	// (default 1ms, jittered); RetryLeaseWait bounds the wait for a
+	// replacement shard per retry (default 250ms, then the batch fails 503).
+	MaxRetries     int
+	RetryBackoff   time.Duration
+	RetryLeaseWait time.Duration
+
+	// EvictAfter is the consecutive-batch-failure count that evicts a
+	// shard into probation (default 2). ProbeInterval paces the prober's
+	// known-answer re-probes of evicted shards (default 20ms).
+	// SuspectCycleFactor marks a shard suspect when a batch kernel runs
+	// that multiple over the model's best observed cycles (default 3).
+	EvictAfter         int
+	ProbeInterval      time.Duration
+	SuspectCycleFactor float64
 }
 
 func (c *Config) applyDefaults() {
@@ -126,23 +168,72 @@ func (c *Config) applyDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.Fault != nil && !c.Fault.Enabled() {
+		c.Fault = nil
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryLeaseWait <= 0 {
+		c.RetryLeaseWait = 250 * time.Millisecond
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 20 * time.Millisecond
+	}
+	if c.SuspectCycleFactor <= 0 {
+		c.SuspectCycleFactor = 3
+	}
 }
 
 // shard is one independent simulated PIM device with every model
 // resident. A shard is leased to at most one worker at a time (the pool
 // channel is the lease), so its Runtime never sees concurrent kernels.
+// Health fields are guarded by Server.hmu (see health.go); the ECC
+// watermarks belong to whoever holds the lease.
 type shard struct {
 	id     int
 	rt     *runtime.Runtime
 	loaded map[string]*blas.ResidentGemv
+	inj    *fault.Injector // nil unless the server was built with a fault profile
+
+	state       healthState
+	consecFails int
+	okStreak    int
+	lastErr     error
+
+	// Uncorrectable-row confirmation, owned by the prober: a row is only
+	// quarantined once two consecutive probes blame it (a transient
+	// double-bit upset names a random row once; a stuck cell names the
+	// same row every time).
+	ueRow  uint32
+	ueSeen bool
+
+	eccCorr, eccUncorr int64 // cumulative device counts already folded into metrics
 }
 
-// model is one served workload: its weights and admission queue.
+// model is one served workload: its weights, admission queue, and the
+// known-answer probe the prober replays on evicted shards.
 type model struct {
 	spec     ModelSpec
 	W        fp16.Vector
 	queue    chan *request
 	maxBatch int
+
+	probeX fp16.Vector // fixed probe input
+	probeY fp16.Vector // oracle output (device accumulation order)
+
+	// minCycles is the best per-request kernel cycle count observed: the
+	// latency baseline that SuspectCycleFactor multiplies.
+	minCycles atomic.Int64
 }
 
 // request is one admitted input vector on its way to a shard.
@@ -176,7 +267,12 @@ type Server struct {
 	mu       sync.RWMutex // guards draining vs. enqueue/close(queue)
 	draining bool
 
-	wg sync.WaitGroup // batchers + in-flight batch workers
+	wg sync.WaitGroup // batchers + in-flight batch workers + prober
+
+	hmu     sync.Mutex   // guards shard health fields + healthy transitions
+	healthy atomic.Int64 // shards not currently evicted
+	probeq  chan *shard  // evicted shards en route to the prober
+	quit    chan struct{}
 
 	reg          *metrics.Registry
 	admitted     *metrics.Counter
@@ -189,6 +285,17 @@ type Server struct {
 	kernelCyc    *metrics.Histogram
 	wallUs       *metrics.Histogram
 	codes        map[int]*metrics.Counter
+
+	retries      *metrics.Counter // batch re-dispatch attempts
+	redispatched *metrics.Counter // requests carried by those attempts
+	evictions    *metrics.Counter
+	revivals     *metrics.Counter
+	suspects     *metrics.Counter // healthy -> suspect demotions
+	probes       *metrics.Counter // probation probes run
+	healthyG     *metrics.Gauge
+	quarantinedG *metrics.Gauge // PIM rows retired across all shards
+	eccCorrC     *metrics.Counter
+	eccUncorrC   *metrics.Counter
 }
 
 // New boots the shard pool, generates and loads every model's weights on
@@ -196,10 +303,12 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:  cfg,
-		mods: make(map[string]*model, len(cfg.Models)),
-		pool: make(chan *shard, cfg.Shards),
-		reg:  metrics.New(1),
+		cfg:    cfg,
+		mods:   make(map[string]*model, len(cfg.Models)),
+		pool:   make(chan *shard, cfg.Shards),
+		probeq: make(chan *shard, cfg.Shards),
+		quit:   make(chan struct{}),
+		reg:    metrics.New(1),
 	}
 	s.admitted = s.reg.Counter("serve_admitted_total")
 	s.served = s.reg.Counter("serve_served_total")
@@ -214,6 +323,16 @@ func New(cfg Config) (*Server, error) {
 	for _, code := range []int{200, 400, 404, 405, 429, 500, 503, 504} {
 		s.codes[code] = s.reg.Counter(fmt.Sprintf("serve_responses_total{code=%q}", fmt.Sprint(code)))
 	}
+	s.retries = s.reg.Counter("serve_retries_total")
+	s.redispatched = s.reg.Counter("serve_redispatch_requests_total")
+	s.evictions = s.reg.Counter("serve_shard_evictions_total")
+	s.revivals = s.reg.Counter("serve_shard_revivals_total")
+	s.suspects = s.reg.Counter("serve_shard_suspect_total")
+	s.probes = s.reg.Counter("serve_probes_total")
+	s.healthyG = s.reg.Gauge("serve_shards_healthy")
+	s.quarantinedG = s.reg.Gauge("serve_rows_quarantined")
+	s.eccCorrC = s.reg.Counter("serve_ecc_corrected_total")
+	s.eccUncorrC = s.reg.Counter("serve_ecc_uncorrectable_total")
 
 	for _, spec := range cfg.Models {
 		if spec.Name == "" || spec.M <= 0 || spec.K <= 0 {
@@ -231,9 +350,16 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	for i := 0; i < cfg.Shards; i++ {
+		var fc fault.Config
+		if cfg.Fault != nil {
+			fc = cfg.Fault.ForShard(i)
+		}
 		hcfg := hbm.PIMHBMConfig(cfg.MHz)
 		hcfg.PseudoChannels = cfg.Channels
 		hcfg.Functional = true
+		// Data-corrupting profiles force ECC: without it flips would
+		// silently rot served outputs instead of being corrected/detected.
+		hcfg.ECC = cfg.ECC || fc.CorruptsData()
 		dev, err := hbm.NewDevice(hcfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
@@ -244,6 +370,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		rt.ParallelKernels = true
 		sh := &shard{id: i, rt: rt, loaded: make(map[string]*blas.ResidentGemv, len(s.mods))}
+		if cfg.Fault != nil {
+			sh.inj = fault.New(fc)
+			if fc.CorruptsData() {
+				dev.AttachFault(sh.inj)
+			}
+			for j, ch := range rt.Chans {
+				ch.ChannelID = j
+				if fc.Delays() {
+					ch.Delay = sh.inj
+				}
+			}
+		}
 		for name, m := range s.mods {
 			g, err := blas.LoadGemv(rt, m.W, m.spec.M, m.spec.K)
 			if err != nil {
@@ -254,12 +392,53 @@ func New(cfg Config) (*Server, error) {
 		s.shards = append(s.shards, sh)
 		s.pool <- sh
 	}
+	s.healthy.Store(int64(cfg.Shards))
+	s.healthyG.Set(0, int64(cfg.Shards))
+
+	// Known-answer probes: a fixed input per model with its oracle output
+	// in the device's exact accumulation order. Computed once; replayed
+	// by the prober on every channel of an evicted shard.
+	for name, m := range s.mods {
+		rng := rand.New(rand.NewSource(m.spec.Seed ^ 0x70726f6265)) // "probe"
+		m.probeX = fp16.NewVector(m.spec.K)
+		for i := range m.probeX {
+			m.probeX[i] = fp16.FromFloat32(float32(rng.NormFloat64()))
+		}
+		m.probeY = s.shards[0].loaded[name].Oracle(s.shards[0].rt, m.W, m.probeX)
+	}
+
+	if cfg.Fault != nil {
+		s.reg.RegisterCollector(s.collectInjectors)
+	}
 
 	for _, m := range s.mods {
 		s.wg.Add(1)
 		go s.batcher(m)
 	}
+	s.wg.Add(1)
+	go s.prober()
 	return s, nil
+}
+
+// collectInjectors bridges the per-shard fault injector counters into
+// metric snapshots (injector counters are atomics, safe any time).
+func (s *Server) collectInjectors(emit func(name string, value int64)) {
+	var t fault.Counters
+	for _, sh := range s.shards {
+		c := sh.inj.Counters()
+		t.BitFlips += c.BitFlips
+		t.DoubleFlips += c.DoubleFlips
+		t.StuckReads += c.StuckReads
+		t.Spikes += c.Spikes
+		t.DeadBatches += c.DeadBatches
+		t.DeadProbes += c.DeadProbes
+	}
+	emit("fault_bit_flips_total", t.BitFlips)
+	emit("fault_double_flips_total", t.DoubleFlips)
+	emit("fault_stuck_reads_total", t.StuckReads)
+	emit("fault_latency_spikes_total", t.Spikes)
+	emit("fault_dead_batches_total", t.DeadBatches)
+	emit("fault_dead_probes_total", t.DeadProbes)
 }
 
 func linearBuckets(start, n int) []int64 {
@@ -301,6 +480,27 @@ func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq ti
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("model %s takes %d inputs, got %d", name, m.spec.K, len(x))
 	}
+	// Capacity-aware degradation: with every shard evicted there is no
+	// device to run on — fail fast (503) instead of queueing work that
+	// can only time out. With some shards evicted, shrink the effective
+	// queue bound proportionally so backpressure (429 + Retry-After)
+	// arrives before the queue outgrows the surviving capacity.
+	healthy := int(s.healthy.Load())
+	if healthy <= 0 {
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("no healthy shards (probation probes running)")
+	}
+	depth := cap(m.queue)
+	if healthy < s.cfg.Shards {
+		if depth = depth * healthy / s.cfg.Shards; depth < 1 {
+			depth = 1
+		}
+	}
+	if len(m.queue) >= depth {
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("model %s admission queue full (%d deep, %d/%d shards healthy)",
+				name, depth, healthy, s.cfg.Shards)
+	}
 	req := &request{ctx: ctx, x: x, enq: enq, resp: make(chan response, 1)}
 	select {
 	case m.queue <- req:
@@ -326,6 +526,10 @@ func (s *Server) Close(ctx context.Context) error {
 		close(m.queue)
 	}
 	s.mu.Unlock()
+	// Wakes the prober and lets batchers blocked on an empty pool give
+	// their batches a terminal 503 instead of waiting for a revival that
+	// may never come (see batcher.lease).
+	close(s.quit)
 
 	done := make(chan struct{})
 	go func() {
