@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke chaos
+.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke trace-smoke chaos
 
 all: build vet test
 
@@ -40,6 +40,14 @@ bench-serve:
 # the HTTP taxonomy, backpressure and graceful shutdown over TCP.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# trace-smoke exercises the observability stack end to end: a pimsim
+# -timeline export, a traced pimserve under load (live /debug/trace,
+# X-Request-ID, structured access logs, spans.json and slow-request
+# dumps), with every artifact schema-validated by tools/tracecheck.
+# Set OUT_DIR to keep the artifacts (CI uploads them).
+trace-smoke:
+	bash scripts/trace_smoke.sh
 
 # chaos runs the three-phase fault drill from docs/FAULTS.md against both
 # profiles: fault-free ECC-on baseline, verified load under injection

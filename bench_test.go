@@ -17,6 +17,7 @@ import (
 	"pimsim/internal/isa"
 	"pimsim/internal/macmodel"
 	"pimsim/internal/models"
+	"pimsim/internal/obs"
 	"pimsim/internal/runtime"
 	"pimsim/internal/sim"
 )
@@ -321,6 +322,32 @@ func BenchmarkTimingOnlyGemv(b *testing.B) {
 		rt.SimChannels = 1
 		if _, _, err := blas.PimGemv(rt, nil, 4096, 8192, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.SetBytes(2 * 4096 * 8192)
+}
+
+// BenchmarkTracedTimingOnlyGemv is the same kernel with the command
+// timeline attached — the enabled-path cost of observability, priced
+// against BenchmarkTimingOnlyGemv in BENCH_gemv.json.
+func BenchmarkTracedTimingOnlyGemv(b *testing.B) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.Functional = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := hbm.MustNewDevice(cfg)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.SimChannels = 1
+		tl := obs.FromHBM(cfg, rt.EffectiveChannels(), 0)
+		rt.AttachTimeline(tl)
+		if _, _, err := blas.PimGemv(rt, nil, 4096, 8192, nil); err != nil {
+			b.Fatal(err)
+		}
+		if tl.Events() == 0 {
+			b.Fatal("timeline recorded nothing")
 		}
 	}
 	b.SetBytes(2 * 4096 * 8192)

@@ -10,6 +10,7 @@ import (
 
 	"pimsim/internal/fault"
 	"pimsim/internal/metrics"
+	"pimsim/internal/obs"
 	"pimsim/internal/serve"
 )
 
@@ -39,6 +40,10 @@ type chaosOpts struct {
 //     baseline — eviction is a transient, not a ratchet.
 func runChaos(o chaosOpts, base serve.Config, verify bool) error {
 	base.ECC = true
+	// Both servers run with the flight recorder armed — the recovery
+	// verdict compares throughput against the baseline, so the baseline
+	// must pay the same tracing cost.
+	base.Tracer = obs.NewTracer(1 << 14)
 
 	log.Printf("pimload: chaos phase 1/3: fault-free ECC-on baseline (%d requests)", o.reqs)
 	baseline, err := runAgainst(base, o.model, o.mode, o.conc, o.reqs, o.rate, verify)
@@ -53,6 +58,11 @@ func runChaos(o chaosOpts, base serve.Config, verify bool) error {
 	}
 	cfg := base
 	cfg.Fault = &fc
+	// The faulted server gets its own recorder: part of the verdict below
+	// is that re-dispatches show up as spans attached to the affected
+	// request IDs.
+	tracer := obs.NewTracer(1 << 14)
+	cfg.Tracer = tracer
 
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -130,6 +140,29 @@ func runChaos(o chaosOpts, base serve.Config, verify bool) error {
 		fails = append(fails, fmt.Sprintf("recovery throughput %.1f req/s below %.0f%% of the %.1f req/s baseline",
 			recovered.ThroughputRPS, 100*o.recoverFrac, baseline.ThroughputRPS))
 	}
+	// Tracing verdict: every re-dispatch the metrics counted must be
+	// reconstructible from the flight recorder — a "redispatch" event
+	// naming the request it hit (and, for each, a root span sharing that
+	// ID, unless the ring has since evicted it).
+	spans := tracer.Snapshot()
+	var redispatch, linked int
+	for _, sp := range spans {
+		if sp.Name != "redispatch" || sp.Req == "" {
+			continue
+		}
+		redispatch++
+		for _, other := range spans {
+			if other.Req == sp.Req && other.Name == "request" {
+				linked++
+				break
+			}
+		}
+	}
+	if retries := snap.Counter("serve_retries_total"); retries > 0 && redispatch == 0 {
+		fails = append(fails, fmt.Sprintf("metrics counted %d retries but the flight recorder holds no redispatch spans", retries))
+	}
+	fmt.Printf("flight recorder: %d spans (%d total recorded), %d redispatch events, %d linked to request roots\n",
+		len(spans), tracer.Total(), redispatch, linked)
 
 	fmt.Printf("chaos verdict: %d ok / %d sent under fire, %d wrong answers, recovery at %.0f%% of baseline\n",
 		chaos.OK, chaos.Sent, chaos.BadOutputs, 100*recovered.ThroughputRPS/baseline.ThroughputRPS)

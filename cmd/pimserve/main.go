@@ -16,6 +16,14 @@
 //
 //	pimserve -fault-profile chaos-mild -fault-seed 42
 //
+// Observability (docs/OBSERVABILITY.md): every request carries an ID
+// (returned in X-Request-ID) and produces one JSON access-log line on
+// stderr. -trace arms the flight recorder — request span trees are
+// served live at GET /debug/trace, dumped to -trace-dir on shutdown
+// (spans.json) and whenever a request exceeds -slow-request
+// (slow-<id>.json). -pprof-addr exposes net/http/pprof on a separate
+// listener, off by default.
+//
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops, then the
 // pipeline drains — every accepted request still gets its response.
 package main
@@ -24,15 +32,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"pimsim/internal/fault"
+	"pimsim/internal/obs"
 	"pimsim/internal/serve"
 )
 
@@ -54,8 +65,16 @@ func main() {
 		maxRetries = flag.Int("max-retries", 3, "re-dispatch attempts for a batch hit by a device fault")
 		evictAfter = flag.Int("evict-after", 2, "consecutive failures before a shard is evicted")
 		probeEvery = flag.Duration("probe-interval", 20*time.Millisecond, "probation probe cadence for evicted shards")
+
+		traceOn   = flag.Bool("trace", false, "arm the request flight recorder (GET /debug/trace)")
+		traceDir  = flag.String("trace-dir", "", "directory for trace dumps (spans.json on shutdown, slow-<id>.json); implies -trace")
+		traceBuf  = flag.Int("trace-buf", 8192, "flight recorder capacity in spans (newest kept)")
+		slowReq   = flag.Duration("slow-request", 0, "dump the span tree of any request slower than this (0 = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = off)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	cfg := serve.Config{
 		Shards:         *shards,
@@ -69,29 +88,86 @@ func main() {
 		MaxRetries:     *maxRetries,
 		EvictAfter:     *evictAfter,
 		ProbeInterval:  *probeEvery,
+		Logger:         logger,
 	}
 	if *profile != "" {
 		fc, err := fault.Profile(*profile, *faultSeed)
 		if err != nil {
-			log.Fatalf("pimserve: %v", err)
+			fatal(logger, err)
 		}
 		cfg.Fault = &fc
-		log.Printf("pimserve: fault profile %s (seed %d)", *profile, *faultSeed)
+		logger.Info("fault profile armed", "profile", *profile, "seed", *faultSeed)
 	}
+
+	var tracer *obs.Tracer
+	if *traceOn || *traceDir != "" {
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fatal(logger, err)
+			}
+		}
+		tracer = obs.NewTracer(*traceBuf)
+		cfg.Tracer = tracer
+		if *slowReq > 0 {
+			dir := *traceDir
+			threshold := *slowReq
+			tracer.SetSlow(threshold, func(tree []obs.Span) {
+				if len(tree) == 0 {
+					return
+				}
+				root := tree[0]
+				logger.Warn("slow request",
+					"req", root.Req, "dur_us", root.Duration().Microseconds(),
+					"threshold_us", threshold.Microseconds(), "spans", len(tree))
+				if dir == "" {
+					return
+				}
+				path := filepath.Join(dir, "slow-"+root.Req+".json")
+				f, err := os.Create(path)
+				if err != nil {
+					logger.Warn("slow-request dump failed", "err", err.Error())
+					return
+				}
+				if err := obs.WriteSpans(f, tree); err != nil {
+					logger.Warn("slow-request dump failed", "err", err.Error())
+				}
+				f.Close()
+			})
+		}
+		logger.Info("tracing armed", "buf", *traceBuf, "dir", *traceDir, "slow_request", slowReq.String())
+	}
+
+	if *pprofAddr != "" {
+		// pprof rides http.DefaultServeMux (the blank net/http/pprof
+		// import), which the service mux below never exposes — profiling
+		// stays on its own listener, off the serving port.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Warn("pprof listener exited", "err", err.Error())
+			}
+		}()
+	}
+
 	boot := time.Now()
 	s, err := serve.New(cfg)
 	if err != nil {
-		log.Fatalf("pimserve: %v", err)
+		fatal(logger, err)
 	}
-	log.Printf("pimserve: %d shards x %d channels at %d MHz ready in %v",
-		*shards, *channels, *mhz, time.Since(boot).Round(time.Millisecond))
+	logger.Info("pool ready",
+		"shards", *shards, "channels", *channels, "mhz", *mhz,
+		"boot_ms", time.Since(boot).Milliseconds())
 	for _, m := range s.Models() {
-		log.Printf("pimserve: model %s loaded (%dx%d)", m.Name, m.M, m.K)
+		logger.Info("model loaded", "model", m.Name, "m", m.M, "k", m.K)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("pimserve: %v", err)
+		fatal(logger, err)
 	}
 	// The resolved address on stdout lets scripts use -addr :0.
 	fmt.Printf("listening on %s\n", ln.Addr())
@@ -104,9 +180,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
-		log.Printf("pimserve: %v: draining", got)
+		logger.Info("draining", "signal", got.String())
 	case err := <-errCh:
-		log.Fatalf("pimserve: %v", err)
+		fatal(logger, err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
@@ -114,10 +190,37 @@ func main() {
 	// Stop the listener first (in-flight handlers finish), then drain the
 	// pipeline so every accepted request is answered.
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("pimserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if err := s.Close(ctx); err != nil {
-		log.Fatalf("pimserve: %v", err)
+		fatal(logger, err)
 	}
-	log.Printf("pimserve: drained cleanly")
+	if tracer != nil && *traceDir != "" {
+		path := filepath.Join(*traceDir, "spans.json")
+		if err := dumpSpans(tracer, path); err != nil {
+			logger.Warn("span dump failed", "err", err.Error())
+		} else {
+			logger.Info("spans dumped", "path", path, "total", tracer.Total())
+		}
+	}
+	logger.Info("drained cleanly")
+}
+
+// dumpSpans writes the flight recorder's contents as Chrome trace-event
+// JSON (the same format GET /debug/trace serves).
+func dumpSpans(t *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSpans(f, t.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err.Error())
+	os.Exit(1)
 }

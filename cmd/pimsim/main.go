@@ -19,6 +19,7 @@ import (
 	"pimsim/internal/energy"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
+	"pimsim/internal/obs"
 	"pimsim/internal/prof"
 	"pimsim/internal/runtime"
 	"pimsim/internal/trace"
@@ -36,6 +37,7 @@ func main() {
 	noFences := flag.Bool("nofences", false, "model an order-guaranteeing controller")
 	seed := flag.Int64("seed", 1, "data seed (functional mode)")
 	traceN := flag.Int("trace", 0, "print the last N DRAM commands of channel 0")
+	timelineOut := flag.String("timeline", "", "write a Perfetto/Chrome trace-event timeline to this file")
 	dumpCRF := flag.Bool("dump-crf", false, "disassemble unit 0's CRF after the kernel")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
@@ -85,6 +87,11 @@ func main() {
 	rt.SetGuaranteeOrder(*noFences)
 	if *traceN > 0 {
 		rt.Chans[0].Trace = trace.NewRecorder(*traceN)
+	}
+	var tl *obs.Timeline
+	if *timelineOut != "" {
+		tl = obs.FromHBM(cfg, rt.EffectiveChannels(), 0)
+		rt.AttachTimeline(tl)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -224,6 +231,30 @@ func main() {
 			fatal(err)
 		}
 	}
+	if tl != nil {
+		if err := writeTimeline(tl, *timelineOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: %d events -> %s (open in https://ui.perfetto.dev)\n",
+			tl.Events(), *timelineOut)
+		if d := tl.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "pimsim: timeline dropped %d events (per-channel buffer full)\n", d)
+		}
+	}
+}
+
+// writeTimeline exports the recorded command timeline as Chrome
+// trace-event JSON.
+func writeTimeline(tl *obs.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the runtime's metrics snapshot to path ("-" for

@@ -107,3 +107,86 @@ func TestReadmeLinksFaultsDoc(t *testing.T) {
 		t.Error("README.md does not link docs/FAULTS.md")
 	}
 }
+
+// TestObservabilityDocMetricsExist boots a plain server and checks that
+// every serve_ metric docs/OBSERVABILITY.md tells an operator to watch
+// is registered (label-bearing citations like `serve_shard_state{...}`
+// are matched by base name).
+func TestObservabilityDocMetricsExist(t *testing.T) {
+	doc := readDoc(t, "docs/OBSERVABILITY.md")
+
+	s, err := serve.New(serve.Config{Shards: 1, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	snap := s.Metrics().Snapshot()
+	base := func(name string) string {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	known := make(map[string]bool)
+	for name := range snap.Counters {
+		known[base(name)] = true
+	}
+	for name := range snap.Gauges {
+		known[base(name)] = true
+	}
+	for name := range snap.Histograms {
+		known[base(name)] = true
+	}
+
+	cited := 0
+	for _, f := range strings.Fields(doc) {
+		name := strings.Trim(f, "`,.")
+		if !strings.HasPrefix(name, "serve_") {
+			continue
+		}
+		cited++
+		if !known[base(name)] {
+			t.Errorf("docs/OBSERVABILITY.md cites metric %q, not registered by the server", name)
+		}
+	}
+	if cited < 5 {
+		t.Errorf("docs/OBSERVABILITY.md cites only %d serve_ metrics; health section missing?", cited)
+	}
+}
+
+// TestObservabilityDocNamesSurface pins the flags, endpoints and headers
+// the doc teaches against the strings the binaries actually define, so
+// a flag rename cannot silently rot the page.
+func TestObservabilityDocNamesSurface(t *testing.T) {
+	doc := readDoc(t, "docs/OBSERVABILITY.md")
+	for _, surface := range []string{
+		"-timeline", "-trace-dir", "-trace-buf", "-slow-request", "-pprof-addr",
+		"/debug/trace", "X-Request-ID", "spans.json",
+	} {
+		if !strings.Contains(doc, surface) {
+			t.Errorf("docs/OBSERVABILITY.md does not mention %s", surface)
+		}
+	}
+
+	// The flags the doc teaches must exist in the binaries' source.
+	pimserve := readDoc(t, "cmd/pimserve/main.go")
+	for _, flagName := range []string{`"trace"`, `"trace-dir"`, `"trace-buf"`, `"slow-request"`, `"pprof-addr"`} {
+		if !strings.Contains(pimserve, flagName) {
+			t.Errorf("cmd/pimserve does not define flag %s named by docs/OBSERVABILITY.md", flagName)
+		}
+	}
+	pimsim := readDoc(t, "cmd/pimsim/main.go")
+	if !strings.Contains(pimsim, `"timeline"`) {
+		t.Error("cmd/pimsim does not define the -timeline flag named by docs/OBSERVABILITY.md")
+	}
+}
+
+// TestReadmeLinksObservabilityDoc keeps the observability story
+// reachable from the front page.
+func TestReadmeLinksObservabilityDoc(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	if !strings.Contains(readme, "docs/OBSERVABILITY.md") {
+		t.Error("README.md does not link docs/OBSERVABILITY.md")
+	}
+}

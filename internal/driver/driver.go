@@ -11,6 +11,7 @@ import (
 
 	"pimsim/internal/hbm"
 	"pimsim/internal/memctrl"
+	"pimsim/internal/obs"
 )
 
 // Region is one physically contiguous allocation.
@@ -58,6 +59,13 @@ type Driver struct {
 	hostLimit uint64
 
 	regions []Region
+
+	// Obs, when set, records PIM-row allocator activity (allocations,
+	// frees, quarantines) as instant events in the flight recorder,
+	// labelled ObsName (the serving layer sets "shardN"). Nil costs one
+	// pointer compare per allocator call.
+	Obs     *obs.Tracer
+	ObsName string
 }
 
 // rowSpan is a contiguous range of PIM rows [Base, Base+N).
@@ -160,6 +168,9 @@ func (d *Driver) AllocPIMRows(n int) (uint32, error) {
 			d.pimFree = append(d.pimFree[:i], d.pimFree[i+1:]...)
 		}
 		d.pimAlloc[base] = uint32(n)
+		if d.Obs != nil {
+			d.Obs.Event("", "driver.alloc", fmt.Sprintf("%s base=%d rows=%d", d.ObsName, base, n))
+		}
 		return base, nil
 	}
 	var free, largest uint32
@@ -200,6 +211,9 @@ func (d *Driver) FreePIMRows(base uint32) error {
 	if i > 0 && d.pimFree[i-1].Base+d.pimFree[i-1].N == d.pimFree[i].Base {
 		d.pimFree[i-1].N += d.pimFree[i].N
 		d.pimFree = append(d.pimFree[:i], d.pimFree[i+1:]...)
+	}
+	if d.Obs != nil {
+		d.Obs.Event("", "driver.free", fmt.Sprintf("%s base=%d rows=%d", d.ObsName, base, n))
 	}
 	return nil
 }
@@ -243,6 +257,9 @@ func (d *Driver) QuarantinePIMRows(base uint32, n int) error {
 		d.quarantined = append(d.quarantined, rowSpan{})
 		copy(d.quarantined[j+1:], d.quarantined[j:])
 		d.quarantined[j] = rowSpan{Base: base, N: uint32(n)}
+		if d.Obs != nil {
+			d.Obs.Event("", "driver.quarantine", fmt.Sprintf("%s base=%d rows=%d", d.ObsName, base, n))
+		}
 		return nil
 	}
 	for b, nn := range d.pimAlloc {

@@ -98,6 +98,7 @@ type TriggerContext struct {
 	WrData  []byte  // host payload on the write datapath (CmdWR only)
 	Access  BankAccess
 	Variant Variant
+	Cycle   int64 // issue cycle of the triggering command (observability)
 	// Functional mirrors Config.Functional: when false the executor should
 	// sequence instructions (and touch banks for the stat counters) but
 	// skip the FP16 math.
@@ -575,6 +576,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 			WrData:     cmd.Data,
 			Access:     (*pchBankAccess)(p),
 			Variant:    p.cfg.Variant,
+			Cycle:      res.Cycle,
 			Functional: p.cfg.Functional,
 		})
 		if err != nil {

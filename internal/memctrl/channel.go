@@ -5,6 +5,7 @@ import (
 
 	"pimsim/internal/hbm"
 	"pimsim/internal/metrics"
+	"pimsim/internal/obs"
 	"pimsim/internal/trace"
 )
 
@@ -47,6 +48,12 @@ type Channel struct {
 	// hook field: nil costs one pointer compare per command.
 	Delay    Delayer
 	delaySeq int64 // commands seen by Delay (its deterministic clock)
+
+	// TL, when set, records every issued command plus mode-window
+	// transitions into the observability timeline (Perfetto export). Same
+	// hook contract as Trace/Delay: nil costs one pointer compare.
+	TL     *obs.ChannelTimeline
+	tlMode hbm.Mode // last mode reported to TL
 }
 
 // Delayer is the fault-injection hook on the command-issue path. For
@@ -151,6 +158,17 @@ func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
 			Cycle: at, Channel: c.ChannelID, Kind: cmd.Kind,
 			BG: cmd.BG, Bank: cmd.Bank, Row: cmd.Row, Col: cmd.Col,
 		})
+	}
+	if c.TL != nil {
+		// Mode transitions are detected here — after the issue, so a
+		// mode-row handshake lands in the window it opens — by comparing
+		// against the last mode the timeline saw.
+		mode := c.pch.Mode()
+		if mode != c.tlMode {
+			c.tlMode = mode
+			c.TL.ModeChange(at, mode.String())
+		}
+		c.TL.Cmd(at, cmd.Kind.String(), cmd.BG, cmd.Bank, cmd.Row, cmd.Col, mode != hbm.ModeSB)
 	}
 	// The command/address bus carries one command per cycle.
 	c.now = at + 1

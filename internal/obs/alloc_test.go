@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+// The disabled-path contract: with no tracer or timeline attached, every
+// hook the hot loops call must cost one pointer compare and zero
+// allocations. These tests are the enforcement; the simulator goldens
+// running with hooks merely present rely on it.
+
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		h := tr.Start("req", "request")
+		c := h.Child("exec").WithShard(2)
+		c.EndWith(100, "", nil)
+		h.End()
+		tr.Event("req", "e", "")
+	}); n != 0 {
+		t.Errorf("nil tracer path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestZeroHandleAllocs(t *testing.T) {
+	var h SpanHandle
+	if n := testing.AllocsPerRun(100, func() {
+		c := h.Child("sub").WithShard(1)
+		c.End()
+		h.EndErr(nil)
+		_ = h.Enabled()
+	}); n != 0 {
+		t.Errorf("zero SpanHandle path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestDisabledTimelineAllocs(t *testing.T) {
+	var c *ChannelTimeline
+	if n := testing.AllocsPerRun(100, func() {
+		c.Cmd(10, "RD", 0, 1, 42, 3, false)
+		c.ModeChange(10, "AB")
+		c.PIMInstr(10, 8)
+	}); n != 0 {
+		t.Errorf("nil channel-timeline path allocates %.1f per op, want 0", n)
+	}
+	var tl *Timeline
+	if n := testing.AllocsPerRun(100, func() {
+		_ = tl.Channel(0)
+	}); n != 0 {
+		t.Errorf("nil timeline Channel allocates %.1f per op, want 0", n)
+	}
+}
+
+// The enabled steady state (buffers warm, below capacity) must also be
+// allocation-free: the flight recorder may run in production.
+func TestEnabledTimelineSteadyStateAllocs(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Channels: 1, MaxPerChannel: 1 << 12})
+	c := tl.Channel(0)
+	// Warm the slices past the growth phase.
+	for i := int64(0); i < 512; i++ {
+		c.Cmd(i, "RD", 0, 0, 0, 0, false)
+	}
+	c.cmds = c.cmds[:0]
+	if n := testing.AllocsPerRun(100, func() {
+		c.Cmd(1, "ACT", 0, 1, 42, 0, false)
+	}); n != 0 {
+		t.Errorf("warm timeline Cmd allocates %.1f per op, want 0", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pimsim/internal/hbm"
 	"pimsim/internal/isa"
+	"pimsim/internal/obs"
 )
 
 // Executor holds the PIM execution units of one pseudo channel and drives
@@ -13,6 +14,11 @@ type Executor struct {
 	units        []*Unit
 	banksPerUnit int
 	triggers     int64
+
+	// TL, when set, records per-trigger retired-instruction counts into
+	// the observability timeline (the Perfetto PIM-activity counter
+	// track). Nil costs one pointer compare per trigger.
+	TL *obs.ChannelTimeline
 }
 
 // NewExecutor builds the execution layer for a PIM device configuration.
@@ -99,6 +105,9 @@ func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
 		if err != nil {
 			return info, fmt.Errorf("pim: unit %d: %w", i, err)
 		}
+	}
+	if e.TL != nil {
+		e.TL.PIMInstr(ctx.Cycle, info.Instructions)
 	}
 	return info, nil
 }

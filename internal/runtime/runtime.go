@@ -34,6 +34,11 @@ type Runtime struct {
 	Metrics *metrics.Registry
 	pm      *phaseMetrics
 
+	// obsAgg, when armed by BeginPhaseObs, accumulates per-kernel phase
+	// activity per channel (tracing's span attributes). Nil when tracing
+	// is off: notePhase pays one nil check.
+	obsAgg [][NumPhases]phaseCell
+
 	// SimChannels, when positive and the device is timing-only, limits
 	// kernel command-stream generation to the first n channels. Channel 0
 	// always carries the maximum per-channel load (blocks are dealt round
@@ -146,7 +151,7 @@ func (r *Runtime) EnterAB(ch int) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	r.notePhase(ch, PhaseMode, start)
 	return nil
 }
 
@@ -159,7 +164,7 @@ func (r *Runtime) ExitToSB(ch int) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.SBMRBank}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	r.notePhase(ch, PhaseMode, start)
 	return nil
 }
 
@@ -179,7 +184,7 @@ func (r *Runtime) SetPIMMode(ch int, on bool) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPRE, BG: 0, Bank: hbm.ABMRBank}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.modeTransitions, r.pm.modeTransitionCycle, start)
+	r.notePhase(ch, PhaseMode, start)
 	return nil
 }
 
@@ -212,7 +217,7 @@ func (r *Runtime) ProgramCRF(ch int, prog []isa.Instruction) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.crfPrograms, r.pm.crfProgramCycle, start)
+	r.notePhase(ch, PhaseCRF, start)
 	return nil
 }
 
@@ -238,7 +243,7 @@ func (r *Runtime) ProgramSRF(ch int, m, a []fp16.F16) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.srfPrograms, r.pm.srfProgramCycle, start)
+	r.notePhase(ch, PhaseSRF, start)
 	return nil
 }
 
@@ -258,7 +263,7 @@ func (r *Runtime) ZeroGRF(ch int) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdPREA}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.grfZeros, r.pm.grfZeroCycle, start)
+	r.notePhase(ch, PhaseGRF, start)
 	return nil
 }
 
@@ -303,7 +308,7 @@ func (r *Runtime) TriggerRD(ch, bankSel int, col uint32) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdRD, Bank: bankSel, Col: col}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.triggers, r.pm.triggerCycle, start)
+	r.notePhase(ch, PhaseTrigger, start)
 	return nil
 }
 
@@ -314,7 +319,7 @@ func (r *Runtime) TriggerWR(ch, bankSel int, col uint32, data []byte) error {
 	if _, err := r.issue(ch, hbm.Command{Kind: hbm.CmdWR, Bank: bankSel, Col: col, Data: data}); err != nil {
 		return err
 	}
-	r.notePhase(ch, r.pm.triggers, r.pm.triggerCycle, start)
+	r.notePhase(ch, PhaseTrigger, start)
 	return nil
 }
 

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"time"
 
 	"pimsim/internal/blas"
 	"pimsim/internal/fp16"
+	"pimsim/internal/obs"
 )
 
 // batcher is the per-model pipeline stage between admission and the shard
@@ -25,6 +27,7 @@ func (s *Server) batcher(m *model) {
 			return
 		}
 		s.queueDepth.Add(0, -1)
+		first.qspan.End()
 		batch := s.collect(m, first)
 		sh := s.lease()
 		if sh == nil {
@@ -85,6 +88,7 @@ func (s *Server) collect(m *model, first *request) []*request {
 				return batch
 			}
 			s.queueDepth.Add(0, -1)
+			r.qspan.End()
 			batch = append(batch, r)
 		case <-timer.C:
 			return batch
@@ -120,7 +124,25 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 			return
 		}
 
+		// Exec spans: one child per request (each hangs off its own root),
+		// closed with the kernel's cycle cost and phase breakdown. All
+		// attribute construction sits behind the tracer check.
+		var execs []obs.SpanHandle
+		if s.tracer != nil {
+			execs = make([]obs.SpanHandle, len(live))
+			for i, r := range live {
+				execs[i] = r.root.Child("exec").WithShard(sh.id)
+			}
+			sh.rt.BeginPhaseObs()
+		}
 		ys, ks, err := s.attempt(m, sh, live)
+		if s.tracer != nil {
+			pb := sh.rt.TakePhaseObs()
+			attrs := fmt.Sprintf("attempt=%d batch=%d %s", attempt, len(live), pb.Summary())
+			for _, h := range execs {
+				h.EndWith(ks.Cycles, attrs, err)
+			}
+		}
 		if err == nil {
 			kernelNs := sh.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
 			s.noteSuccess(m, sh, ks.Cycles)
@@ -130,6 +152,7 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 		}
 
 		canRetry := retryable(err) && attempt < s.cfg.MaxRetries
+		failedShard := sh.id
 		s.recoverShard(sh)     // the abort left banks open / PIM mode on
 		s.noteFailure(sh, err) // hands the shard to the pool or the prober
 		if !canRetry {
@@ -138,6 +161,12 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 		}
 		s.retries.Inc(0)
 		s.redispatched.Add(0, int64(len(live)))
+		if s.tracer != nil {
+			for _, r := range live {
+				s.tracer.Event(r.id, "redispatch",
+					fmt.Sprintf("attempt=%d shard=%d err=%v", attempt, failedShard, err))
+			}
+		}
 		time.Sleep(s.backoff(attempt))
 		if sh = s.leaseRetry(); sh == nil {
 			s.failBatch(live, http.StatusServiceUnavailable, err)

@@ -62,6 +62,14 @@ func (h healthState) String() string {
 // shard needs to be promoted back to healthy.
 const okProbation = 3
 
+// setShardState moves a shard's health state and mirrors it into the
+// shard's serve_shard_state gauge (value = healthState). Callers hold
+// s.hmu.
+func (s *Server) setShardState(sh *shard, st healthState) {
+	sh.state = st
+	s.stateG[sh.id].Set(0, int64(st))
+}
+
 // retryable classifies a batch error: device faults that a different
 // (or recovered) shard can absorb. Everything else — a programming
 // error, an invalid batch — would fail identically anywhere.
@@ -101,7 +109,7 @@ func (s *Server) noteSuccess(m *model, sh *shard, cycles int64) {
 	switch sh.state {
 	case shardHealthy:
 		if slow {
-			sh.state = shardSuspect
+			s.setShardState(sh, shardSuspect)
 			sh.okStreak = 0
 			s.suspects.Inc(0)
 		}
@@ -112,7 +120,7 @@ func (s *Server) noteSuccess(m *model, sh *shard, cycles int64) {
 		}
 		sh.okStreak++
 		if sh.okStreak >= okProbation {
-			sh.state = shardHealthy
+			s.setShardState(sh, shardHealthy)
 			sh.okStreak = 0
 		}
 	}
@@ -129,10 +137,10 @@ func (s *Server) noteFailure(sh *shard, err error) {
 	sh.lastErr = err
 	evict := sh.consecFails >= s.cfg.EvictAfter
 	if evict {
-		sh.state = shardEvicted
+		s.setShardState(sh, shardEvicted)
 		s.healthyG.Set(0, s.healthy.Add(-1))
 	} else if sh.state == shardHealthy {
-		sh.state = shardSuspect
+		s.setShardState(sh, shardSuspect)
 		s.suspects.Inc(0)
 	}
 	s.hmu.Unlock()
@@ -206,7 +214,7 @@ func (s *Server) probeShard(sh *shard) bool {
 	if err == nil {
 		sh.ueSeen = false
 		s.hmu.Lock()
-		sh.state = shardHealthy
+		s.setShardState(sh, shardHealthy)
 		sh.consecFails, sh.okStreak = 0, 0
 		sh.lastErr = nil
 		s.healthyG.Set(0, s.healthy.Add(1))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pimsim/internal/fp16"
+	"pimsim/internal/obs"
 )
 
 // InferRequest is the POST /v1/infer body. Exactly one of Input (a single
@@ -56,38 +57,102 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	return mux
+}
+
+// handleDebugTrace snapshots the flight recorder as Chrome trace-event
+// JSON (loadable in Perfetto directly). 404 when tracing is disabled.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.fail(w, time.Now(), http.StatusNotFound, fmt.Errorf("tracing disabled (start the server with a Tracer)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteSpans(w, s.tracer.Snapshot())
+}
+
+// inferOutcome is what one /v1/infer request resolved to — the access
+// log record and the root span's closing attributes.
+type inferOutcome struct {
+	status  int
+	model   string
+	inputs  int   // input vectors in the HTTP request
+	batch   int   // device batch size the (first) input was packed into
+	shard   int   // shard the (first) input executed on
+	queueUs int64 // queue wait of the first input
+	err     error
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// Every request gets an ID — with tracing off it still names the
+	// request in the access log and the X-Request-ID response header.
+	id := obs.NewRequestID()
+	w.Header().Set("X-Request-ID", id)
+	root := s.tracer.Start(id, "request")
+	o := s.doInfer(w, r, start, id, root)
+	if root.Enabled() {
+		root.EndWith(0, fmt.Sprintf("model=%s inputs=%d batch=%d status=%d",
+			o.model, o.inputs, o.batch, o.status), o.err)
+	}
+	if s.logger != nil {
+		attrs := []any{
+			"req", id,
+			"model", o.model,
+			"inputs", o.inputs,
+			"batch", o.batch,
+			"shard", o.shard,
+			"queue_us", o.queueUs,
+			"status", o.status,
+			"wall_us", time.Since(start).Microseconds(),
+		}
+		if o.err != nil {
+			attrs = append(attrs, "err", o.err.Error())
+			s.logger.Warn("infer", attrs...)
+		} else {
+			s.logger.Info("infer", attrs...)
+		}
+	}
+}
+
+// doInfer runs the request through admit -> wait -> respond and reports
+// the outcome. It always writes exactly one HTTP response.
+func (s *Server) doInfer(w http.ResponseWriter, r *http.Request, start time.Time, id string, root obs.SpanHandle) inferOutcome {
+	o := inferOutcome{status: http.StatusOK, shard: -1}
 	if r.Method != http.MethodPost {
-		s.fail(w, start, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
+		o.status, o.err = http.StatusMethodNotAllowed, fmt.Errorf("use POST")
+		s.fail(w, start, o.status, o.err)
+		return o
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		// Oversized bodies surface here as http.MaxBytesError; both
 		// malformed JSON and too-large are client errors.
-		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
-		return
+		o.status, o.err = http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+		s.fail(w, start, o.status, o.err)
+		return o
 	}
+	o.model = req.Model
 
 	var inputs [][]float64
 	single := false
 	switch {
 	case req.Input != nil && req.Inputs != nil:
-		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("set exactly one of input or inputs"))
-		return
+		o.status, o.err = http.StatusBadRequest, fmt.Errorf("set exactly one of input or inputs")
+		s.fail(w, start, o.status, o.err)
+		return o
 	case req.Input != nil:
 		inputs, single = [][]float64{req.Input}, true
 	case len(req.Inputs) > 0:
 		inputs = req.Inputs
 	default:
-		s.fail(w, start, http.StatusBadRequest, fmt.Errorf("missing input"))
-		return
+		o.status, o.err = http.StatusBadRequest, fmt.Errorf("missing input")
+		s.fail(w, start, o.status, o.err)
+		return o
 	}
+	o.inputs = len(inputs)
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMs > 0 {
@@ -108,7 +173,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		for i, v := range in {
 			x[i] = fp16.FromFloat32(float32(v))
 		}
-		q, status, err := s.enqueue(ctx, req.Model, x, start)
+		q, status, err := s.enqueue(ctx, req.Model, x, start, id, root)
 		if err != nil {
 			rejStatus, rejErr = status, err
 			break
@@ -124,15 +189,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			resps[i] = response{status: http.StatusGatewayTimeout, err: ctx.Err()}
 		}
 	}
+	if len(resps) > 0 {
+		o.batch, o.shard, o.queueUs = resps[0].batch, resps[0].shard, resps[0].queueUs
+	}
 
 	if rejErr != nil {
-		s.fail(w, start, rejStatus, rejErr)
-		return
+		o.status, o.err = rejStatus, rejErr
+		s.fail(w, start, o.status, o.err)
+		return o
 	}
 	for _, rp := range resps {
 		if rp.status != http.StatusOK {
-			s.fail(w, start, rp.status, rp.err)
-			return
+			o.status, o.err = rp.status, rp.err
+			s.fail(w, start, o.status, o.err)
+			return o
 		}
 	}
 
@@ -153,6 +223,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.respond(w, start, http.StatusOK, out)
+	return o
 }
 
 func toF64(y fp16.Vector) []float64 {

@@ -39,6 +39,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -51,6 +52,7 @@ import (
 	"pimsim/internal/hbm"
 	"pimsim/internal/metrics"
 	"pimsim/internal/models"
+	"pimsim/internal/obs"
 	"pimsim/internal/runtime"
 )
 
@@ -138,6 +140,15 @@ type Config struct {
 	EvictAfter         int
 	ProbeInterval      time.Duration
 	SuspectCycleFactor float64
+
+	// Observability. Tracer hooks the flight recorder into the whole
+	// pipeline: a root span per request (ID returned in X-Request-ID),
+	// queue/exec children, re-dispatch and driver-allocator events. Nil
+	// disables tracing at the cost of one pointer compare per hook site.
+	// Logger receives one structured access-log record per /v1/infer
+	// request; nil disables access logging.
+	Tracer *obs.Tracer
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -242,6 +253,13 @@ type request struct {
 	x    fp16.Vector
 	enq  time.Time
 	resp chan response // buffered; the pipeline never blocks on a reply
+
+	// Tracing context (zero valued when tracing is off): the request ID,
+	// the HTTP root span the pipeline hangs children off, and the open
+	// queue span the batcher ends when it pops the request.
+	id    string
+	root  obs.SpanHandle
+	qspan obs.SpanHandle
 }
 
 // response is the terminal outcome of one request. Exactly one response
@@ -296,6 +314,10 @@ type Server struct {
 	quarantinedG *metrics.Gauge // PIM rows retired across all shards
 	eccCorrC     *metrics.Counter
 	eccUncorrC   *metrics.Counter
+	stateG       []*metrics.Gauge // per-shard health state (healthState value)
+
+	tracer *obs.Tracer  // nil = tracing disabled
+	logger *slog.Logger // nil = access logging disabled
 }
 
 // New boots the shard pool, generates and loads every model's weights on
@@ -333,6 +355,14 @@ func New(cfg Config) (*Server, error) {
 	s.quarantinedG = s.reg.Gauge("serve_rows_quarantined")
 	s.eccCorrC = s.reg.Counter("serve_ecc_corrected_total")
 	s.eccUncorrC = s.reg.Counter("serve_ecc_uncorrectable_total")
+	s.tracer = cfg.Tracer
+	s.logger = cfg.Logger
+	// Per-shard health-state gauges: 0 healthy, 1 suspect, 2 evicted (an
+	// evicted shard is in probation — the prober owns it).
+	s.stateG = make([]*metrics.Gauge, cfg.Shards)
+	for i := range s.stateG {
+		s.stateG[i] = s.reg.Gauge(fmt.Sprintf("serve_shard_state{shard=%q}", fmt.Sprint(i)))
+	}
 
 	for _, spec := range cfg.Models {
 		if spec.Name == "" || spec.M <= 0 || spec.K <= 0 {
@@ -369,6 +399,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
 		rt.ParallelKernels = true
+		if cfg.Tracer != nil {
+			rt.Drv.Obs = cfg.Tracer
+			rt.Drv.ObsName = fmt.Sprintf("shard%d", i)
+		}
 		sh := &shard{id: i, rt: rt, loaded: make(map[string]*blas.ResidentGemv, len(s.mods))}
 		if cfg.Fault != nil {
 			sh.inj = fault.New(fc)
@@ -464,9 +498,16 @@ func (s *Server) Models() []ModelSpec {
 	return out
 }
 
+// Tracer returns the flight recorder the server was built with (nil when
+// tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // enqueue admits one input vector into its model's queue. On rejection it
-// returns the HTTP status the caller should surface (400/429/503).
-func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq time.Time) (*request, int, error) {
+// returns the HTTP status the caller should surface (400/429/503). id and
+// root are the request's tracing context (zero valued when tracing is
+// off); an admitted request carries an open queue span that the batcher
+// ends when it pops the request.
+func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq time.Time, id string, root obs.SpanHandle) (*request, int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -501,7 +542,12 @@ func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq ti
 			fmt.Errorf("model %s admission queue full (%d deep, %d/%d shards healthy)",
 				name, depth, healthy, s.cfg.Shards)
 	}
-	req := &request{ctx: ctx, x: x, enq: enq, resp: make(chan response, 1)}
+	req := &request{ctx: ctx, x: x, enq: enq, resp: make(chan response, 1), id: id, root: root}
+	// The queue span must exist before the send: the batcher may pop the
+	// request (and end the span) the moment it lands in the channel. On
+	// the full-queue path below the unstarted span is simply never
+	// recorded — handles only reach the ring when ended.
+	req.qspan = root.Child("queue")
 	select {
 	case m.queue <- req:
 		s.admitted.Inc(0)

@@ -1,0 +1,93 @@
+// tracecheck validates Chrome trace-event JSON files (the format pimsim
+// -timeline and pimserve's trace dumps emit, loadable in Perfetto). It
+// enforces the envelope ({"traceEvents": [...]}) and the per-event
+// schema: every event names itself and carries a known phase, complete
+// slices ("X") have numeric ts/dur/pid/tid with dur >= 0, metadata and
+// counter events carry args, instants carry a scope. CI runs it over the
+// smoke-test artifacts before uploading them.
+//
+//	tracecheck out.json spans.json
+//	tracecheck -min-events 100 out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "fail a file holding fewer trace events")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-events N] file.json...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad = true
+			continue
+		}
+		n, err := validate(f, *minEvents)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s: %d events ok\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// validate checks one trace file and returns how many events it holds.
+func validate(r io.Reader, minEvents int) (int, error) {
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return 0, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if file.TraceEvents == nil {
+		return 0, fmt.Errorf("missing traceEvents array")
+	}
+	for i, ev := range file.TraceEvents {
+		if name, _ := ev["name"].(string); name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			for _, f := range []string{"ts", "dur", "pid", "tid"} {
+				if _, ok := ev[f].(float64); !ok {
+					return 0, fmt.Errorf("event %d (%v): ph=X missing numeric %s", i, ev["name"], f)
+				}
+			}
+			if dur := ev["dur"].(float64); dur < 0 {
+				return 0, fmt.Errorf("event %d (%v): negative dur %v", i, ev["name"], dur)
+			}
+		case "M", "C":
+			if _, ok := ev["args"].(map[string]any); !ok {
+				return 0, fmt.Errorf("event %d (%v): ph=%s missing args", i, ev["name"], ph)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s == "" {
+				return 0, fmt.Errorf("event %d (%v): ph=i missing scope", i, ev["name"])
+			}
+		default:
+			return 0, fmt.Errorf("event %d (%v): unknown ph %q", i, ev["name"], ph)
+		}
+	}
+	if len(file.TraceEvents) < minEvents {
+		return 0, fmt.Errorf("only %d events, want >= %d", len(file.TraceEvents), minEvents)
+	}
+	return len(file.TraceEvents), nil
+}

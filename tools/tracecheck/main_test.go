@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		min     int
+		wantN   int
+		wantErr string
+	}{
+		{
+			name:  "valid mixed phases",
+			in:    `{"traceEvents":[{"name":"ACT","ph":"X","ts":0,"dur":14.2,"pid":0,"tid":0},{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"pCH0"}},{"name":"pim_instr","ph":"C","ts":1,"pid":0,"tid":2,"args":{"instr":8}},{"name":"redispatch","ph":"i","ts":2,"pid":1,"tid":1,"s":"t"}]}`,
+			min:   1,
+			wantN: 4,
+		},
+		{name: "zero dur is legal", in: `{"traceEvents":[{"name":"e","ph":"X","ts":1,"dur":0,"pid":0,"tid":0}]}`, min: 1, wantN: 1},
+		{name: "not json", in: `perfetto?`, min: 1, wantErr: "invalid JSON"},
+		{name: "no envelope", in: `{"events":[]}`, min: 1, wantErr: "missing traceEvents"},
+		{name: "unnamed event", in: `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`, min: 1, wantErr: "missing name"},
+		{name: "X without dur", in: `{"traceEvents":[{"name":"e","ph":"X","ts":0,"pid":0,"tid":0}]}`, min: 1, wantErr: "missing numeric dur"},
+		{name: "negative dur", in: `{"traceEvents":[{"name":"e","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}]}`, min: 1, wantErr: "negative dur"},
+		{name: "metadata without args", in: `{"traceEvents":[{"name":"thread_name","ph":"M","pid":0,"tid":0}]}`, min: 1, wantErr: "missing args"},
+		{name: "instant without scope", in: `{"traceEvents":[{"name":"e","ph":"i","ts":0,"pid":0,"tid":0}]}`, min: 1, wantErr: "missing scope"},
+		{name: "unknown phase", in: `{"traceEvents":[{"name":"e","ph":"B","ts":0,"pid":0,"tid":0}]}`, min: 1, wantErr: `unknown ph "B"`},
+		{name: "too few events", in: `{"traceEvents":[{"name":"e","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`, min: 5, wantErr: "only 1 events"},
+		{name: "empty ok at min 0", in: `{"traceEvents":[]}`, min: 0, wantN: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := validate(strings.NewReader(tc.in), tc.min)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if n != tc.wantN {
+					t.Errorf("counted %d events, want %d", n, tc.wantN)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
