@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-serve serve-smoke trace-smoke chaos
+.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve serve-smoke trace-smoke chaos
 
 all: build vet test
 
@@ -25,6 +25,19 @@ race:
 # "Simulator performance" table is regenerated from this file.
 bench:
 	$(GO) test -run '^$$' -bench 'Gemv$$' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_gemv.json
+
+# bench-check re-runs the Gemv benchmarks and fails if any regressed past
+# 2.5x the checked-in BENCH_gemv.json baseline (time or bytes/op). The
+# factor absorbs machine-to-machine noise; it exists to catch a dropped
+# fast path or an allocation blow-up, not percent-level drift.
+bench-check:
+	$(GO) test -run '^$$' -bench 'Gemv$$' -benchtime 2x -benchmem . | $(GO) run ./tools/benchjson -check BENCH_gemv.json
+
+# race-goldens proves engine determinism under the race detector: serial
+# vs parallel per-pCH execution, GOMAXPROCS 1/2/N, with tracing and fault
+# injection armed, must be bit-for-bit identical (see DESIGN.md).
+race-goldens:
+	$(GO) test -race -count=2 -run 'TestGolden' .
 
 # bench-serve runs the serving A/B (dynamic batching vs batch-size-1 at
 # equal shard count) through cmd/pimload and records throughput, latency

@@ -53,6 +53,7 @@ func main() {
 		shards     = flag.Int("shards", 2, "independent simulated PIM devices")
 		channels   = flag.Int("channels", 4, "pseudo channels per shard (= max batch)")
 		mhz        = flag.Int("mhz", 1200, "memory clock in MHz")
+		engineName = flag.String("engine", "parallel", "channel execution engine per shard: serial or parallel")
 		maxBatch   = flag.Int("max-batch", 0, "batch bound (0 = channel count)")
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "dynamic batcher flush timeout")
 		queueDepth = flag.Int("queue-depth", 64, "per-model admission queue depth")
@@ -80,6 +81,7 @@ func main() {
 		Shards:         *shards,
 		Channels:       *channels,
 		MHz:            *mhz,
+		Engine:         *engineName,
 		MaxBatch:       *maxBatch,
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,

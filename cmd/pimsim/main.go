@@ -17,6 +17,7 @@ import (
 
 	"pimsim/internal/blas"
 	"pimsim/internal/energy"
+	"pimsim/internal/engine"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
 	"pimsim/internal/obs"
@@ -43,6 +44,7 @@ func main() {
 	metricsFormat := flag.String("metrics-format", "json", "metrics snapshot format: json or prom")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	engineName := flag.String("engine", "parallel", "channel execution engine: serial (sequential oracle) or parallel (worker per pseudo channel)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -84,6 +86,11 @@ func main() {
 	if !*functional {
 		rt.SimChannels = 1
 	}
+	eng, err := engine.New(*engineName, rt.NumChannels())
+	if err != nil {
+		fatal(err)
+	}
+	rt.UseEngine(eng)
 	rt.SetGuaranteeOrder(*noFences)
 	if *traceN > 0 {
 		rt.Chans[0].Trace = trace.NewRecorder(*traceN)

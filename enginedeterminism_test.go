@@ -1,0 +1,195 @@
+package pimsim
+
+// Engine determinism goldens. The parallel per-pCH engine may only change
+// wall-clock time, never simulated behaviour: each channel is a closed
+// synchronous system, so a run under engine.Parallel must be bit-for-bit
+// identical to engine.Serial at any GOMAXPROCS — outputs, cycle counts,
+// device stats, fault-injection decisions, and every event the
+// observability timeline records. These tests run the same kernel through
+// both engines across GOMAXPROCS 1/2/N with tracing and fault injection
+// armed, and compare everything. Run them under -race to also prove the
+// parallel engine is data-race free.
+
+import (
+	"hash/fnv"
+	goruntime "runtime"
+	"testing"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/engine"
+	"pimsim/internal/fault"
+	"pimsim/internal/fp16"
+	"pimsim/internal/hbm"
+	"pimsim/internal/obs"
+	"pimsim/internal/runtime"
+)
+
+// engineRun is everything observable from one kernel run. All fields are
+// comparable, so two runs match iff the structs are ==.
+type engineRun struct {
+	outHash   uint64
+	cycles    int64
+	triggers  int64
+	fences    int64
+	stats     hbm.Stats
+	flips     int64
+	corrected int64
+	spikes    int64
+	tlHash    uint64
+	tlEvents  int
+}
+
+// timelineHash folds every recorded event of every channel, in channel
+// order, into one digest — the bit-for-bit identity of the trace.
+func timelineHash(tl *obs.Timeline, channels int) uint64 {
+	h := fnv.New64a()
+	w64 := func(v uint64) {
+		h.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+			byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56)})
+	}
+	for ch := 0; ch < channels; ch++ {
+		c := tl.Channel(ch)
+		w64(uint64(ch))
+		for _, e := range c.Cmds() {
+			w64(uint64(e.Cycle))
+			h.Write([]byte(e.Kind))
+			w64(uint64(e.BG)<<48 | uint64(e.Bank)<<32 | uint64(e.Row))
+			w64(uint64(e.Col))
+			if e.Broadcast {
+				h.Write([]byte{1})
+			}
+		}
+		for _, e := range c.Modes() {
+			w64(uint64(e.Cycle))
+			h.Write([]byte(e.Mode))
+		}
+		for _, e := range c.PIMs() {
+			w64(uint64(e.Cycle))
+			w64(uint64(e.Instr))
+		}
+	}
+	return h.Sum64()
+}
+
+// runEngineGemv executes one fully instrumented GEMV under the named
+// engine at the given GOMAXPROCS. functional toggles the bit-exact
+// datapath (with ECC + seeded bit flips) versus the timing-only fast
+// path (with seeded command-latency spikes via the Delayer hook).
+func runEngineGemv(t *testing.T, engineName string, procs int, functional bool) engineRun {
+	t.Helper()
+	defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.PseudoChannels = 4
+	cfg.Functional = functional
+	cfg.ECC = functional
+	dev := hbm.MustNewDevice(cfg)
+
+	var inj *fault.Injector
+	if functional {
+		inj = fault.New(fault.Config{Seed: 7, FlipRate: 1e-3})
+		dev.AttachFault(inj)
+	} else {
+		inj = fault.New(fault.Config{Seed: 11, SpikeEvery: 64, SpikeCycles: 9})
+	}
+
+	rt, err := runtime.New([]*hbm.Device{dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !functional {
+		for _, ch := range rt.Chans {
+			ch.Delay = inj
+		}
+	}
+	eng, err := engine.New(engineName, rt.NumChannels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.UseEngine(eng)
+	defer rt.CloseEngine()
+
+	tl := obs.FromHBM(cfg, rt.EffectiveChannels(), 0)
+	rt.AttachTimeline(tl)
+
+	const M, K = 256, 512
+	var W, x fp16.Vector
+	if functional {
+		W = fp16.NewVector(M * K)
+		x = fp16.NewVector(K)
+		for i := range W {
+			W[i] = fp16.FromFloat32(float32(i%13) * 0.1)
+		}
+		for i := range x {
+			x[i] = fp16.FromFloat32(float32(i%7) * 0.2)
+		}
+	}
+	y, ks, err := blas.PimGemv(rt, W, M, K, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := engineRun{
+		cycles:   ks.Cycles,
+		triggers: ks.Triggers,
+		fences:   ks.Fences,
+		stats:    dev.Stats(),
+		flips:    inj.Counters().BitFlips,
+		spikes:   inj.Counters().Spikes,
+		tlHash:   timelineHash(tl, rt.EffectiveChannels()),
+		tlEvents: tl.Events(),
+	}
+	if functional {
+		h := fnv.New64a()
+		for _, v := range y {
+			h.Write([]byte{byte(v), byte(v >> 8)})
+		}
+		r.outHash = h.Sum64()
+		r.corrected = dev.Stats().ECCCorrected
+	}
+	return r
+}
+
+// engineMatrix is the serial-oracle comparison: parallel at GOMAXPROCS
+// 1, 2 and NumCPU must reproduce the serial run exactly.
+func engineMatrix(t *testing.T, functional bool) {
+	oracle := runEngineGemv(t, "serial", 1, functional)
+	if oracle.tlEvents == 0 {
+		t.Fatal("timeline recorded nothing — the tracing path is not armed")
+	}
+	if functional && oracle.flips == 0 {
+		t.Fatal("fault injector flipped no bits — the injection path is not armed")
+	}
+	if !functional && oracle.spikes == 0 {
+		t.Fatal("fault injector spiked no commands — the delay path is not armed")
+	}
+	for _, tc := range []struct {
+		engine string
+		procs  int
+	}{
+		{"serial", goruntime.NumCPU()},
+		{"parallel", 1},
+		{"parallel", 2},
+		{"parallel", goruntime.NumCPU()},
+	} {
+		got := runEngineGemv(t, tc.engine, tc.procs, functional)
+		if got != oracle {
+			t.Errorf("%s@GOMAXPROCS=%d diverged from serial oracle:\n got  %+v\n want %+v",
+				tc.engine, tc.procs, got, oracle)
+		}
+	}
+}
+
+// TestGoldenEngineDeterminismFunctional: bit-exact GEMV with ECC, seeded
+// transient bit flips and full command tracing — serial vs parallel,
+// GOMAXPROCS 1/2/N.
+func TestGoldenEngineDeterminismFunctional(t *testing.T) {
+	engineMatrix(t, true)
+}
+
+// TestGoldenEngineDeterminismTimingOnly: the event-driven fast path
+// (lockstep executor engaged) with seeded command-latency spikes and
+// full command tracing — serial vs parallel, GOMAXPROCS 1/2/N.
+func TestGoldenEngineDeterminismTimingOnly(t *testing.T) {
+	engineMatrix(t, false)
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSerialOrderAndFirstError(t *testing.T) {
+	var order []int
+	err := Serial{}.Run(4, func(ch int) error {
+		order = append(order, ch)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, ch := range order {
+		if ch != i {
+			t.Fatalf("serial order %v, want 0..3", order)
+		}
+	}
+
+	boom := errors.New("boom")
+	ran := 0
+	err = Serial{}.Run(4, func(ch int) error {
+		ran++
+		if ch == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 2 {
+		t.Fatalf("serial ran %d channels past the error, want stop at 2", ran)
+	}
+}
+
+func TestParallelRunsAllChannels(t *testing.T) {
+	p := NewParallel(8)
+	defer p.Close()
+	var hits [8]atomic.Int64
+	for iter := 0; iter < 50; iter++ {
+		if err := p.Run(8, func(ch int) error {
+			hits[ch].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	for ch := range hits {
+		if got := hits[ch].Load(); got != 50 {
+			t.Fatalf("channel %d ran %d times, want 50", ch, got)
+		}
+	}
+}
+
+func TestParallelFirstErrorInChannelOrder(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	e1, e3 := errors.New("ch1"), errors.New("ch3")
+	err := p.Run(4, func(ch int) error {
+		switch ch {
+		case 1:
+			return e1
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if !errors.Is(err, e1) {
+		t.Fatalf("err = %v, want the lowest-channel error", err)
+	}
+	// The error slots must be cleared: a later clean Run reports nil.
+	if err := p.Run(4, func(ch int) error { return nil }); err != nil {
+		t.Fatalf("stale error leaked into next Run: %v", err)
+	}
+}
+
+func TestParallelGrowsPastInitialSize(t *testing.T) {
+	p := NewParallel(2)
+	defer p.Close()
+	var n atomic.Int64
+	if err := p.Run(6, func(ch int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n.Load() != 6 {
+		t.Fatalf("ran %d, want 6", n.Load())
+	}
+}
+
+func TestParallelSingleChannelRunsInline(t *testing.T) {
+	p := NewParallel(1)
+	defer p.Close()
+	if err := p.Run(1, func(ch int) error {
+		if ch != 0 {
+			t.Fatalf("ch = %d", ch)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"", "serial"} {
+		e, err := New(name, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if e.Name() != "serial" {
+			t.Fatalf("New(%q).Name() = %q", name, e.Name())
+		}
+		e.Close()
+	}
+	e, err := New("parallel", 4)
+	if err != nil {
+		t.Fatalf("New(parallel): %v", err)
+	}
+	if e.Name() != "parallel" {
+		t.Fatalf("Name() = %q", e.Name())
+	}
+	e.Close()
+	if _, err := New("warp", 4); err == nil {
+		t.Fatal("New(warp) accepted an unknown engine")
+	}
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	p := NewParallel(2)
+	p.Close()
+	p.Close() // must not panic on double close
+}

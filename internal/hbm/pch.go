@@ -49,19 +49,21 @@ func (c Config) SRFRow() uint32  { return uint32(c.Rows - 4) }
 
 // confSpace maps a row to its register space, or ok=false for normal rows.
 // Plain HBM2 devices have no PIM configuration space: every row is an
-// ordinary array row.
-func (c Config) confSpace(row uint32) (RegSpace, bool) {
+// ordinary array row. Pointer receiver with the Mode/CRF/GRF/SRF row
+// arithmetic inlined: it runs on every column command, where the value
+// receivers' Config copies dominated the timing-only profile.
+func (c *Config) confSpace(row uint32) (RegSpace, bool) {
 	if c.PIMUnits == 0 {
 		return 0, false
 	}
-	switch row {
-	case c.ModeRow():
+	switch top := uint32(c.Rows); row {
+	case top - 1: // ModeRow
 		return RegMode, true
-	case c.CRFRow():
+	case top - 2: // CRFRow
 		return RegCRF, true
-	case c.GRFRow():
+	case top - 3: // GRFRow
 		return RegGRF, true
-	case c.SRFRow():
+	case top - 4: // SRFRow
 		return RegSRF, true
 	}
 	return 0, false
@@ -87,6 +89,20 @@ type BankAccess interface {
 	ReadBank(bankIdx int, col uint32, buf []byte) error
 	// WriteBank stores data at the open row's column col of bank bankIdx.
 	WriteBank(bankIdx int, col uint32, data []byte) error
+}
+
+// BankAccessReplicator is the bulk-accounting extension of BankAccess.
+// In timing-only mode every PIM unit of a channel executes the same
+// microkernel slot against banks in the same state (broadcast column
+// commands require all banks active, and register broadcasts give every
+// unit identical control state), so an executor may step one
+// representative unit and account the remaining units' identical bank
+// traffic in one call instead of replaying it. Implementations bump the
+// same counters ReadBank/WriteBank would have.
+type BankAccessReplicator interface {
+	// ReplicateBankAccess accounts `times` further copies of an access
+	// pattern of `reads` bank reads and `writes` bank writes.
+	ReplicateBankAccess(reads, writes, times int64)
 }
 
 // TriggerContext describes one AB-PIM column command to the executor.
@@ -151,6 +167,10 @@ type PseudoChannel struct {
 
 	stats   Stats
 	bankOps []BankOps // per-bank command observations (utilization balance)
+	// bcastOps counts broadcast (AB/AB-PIM) commands once instead of
+	// touching all 16 bankOps entries per command; a broadcast reaches
+	// every bank equally, so BankOps() folds it back in exactly.
+	bcastOps BankOps
 
 	// Mode residency: cycles spent in each operating mode, attributed at
 	// mode-switch command issue cycles.
@@ -231,9 +251,19 @@ func (p *PseudoChannel) Stats() Stats { return p.stats }
 // ResetStats zeroes the counters.
 func (p *PseudoChannel) ResetStats() { p.stats = Stats{} }
 
-// BankOps returns a copy of the per-bank command counts (flat bank index).
+// BankOps returns a copy of the per-bank command counts (flat bank index),
+// with broadcast commands — accumulated once in bcastOps — folded into
+// every bank, exactly as every bank's row decoder and IOSA fired.
 func (p *PseudoChannel) BankOps() []BankOps {
-	return append([]BankOps(nil), p.bankOps...)
+	out := append([]BankOps(nil), p.bankOps...)
+	if p.bcastOps != (BankOps{}) {
+		for i := range out {
+			out[i].ACT += p.bcastOps.ACT
+			out[i].RD += p.bcastOps.RD
+			out[i].WR += p.bcastOps.WR
+		}
+	}
+	return out
 }
 
 // ModeResidency returns the cycles spent in each operating mode (indexed
@@ -270,8 +300,16 @@ func (p *PseudoChannel) unitFor(bankIdx int) int {
 // issue. It does not change state and returns an error for commands that
 // are illegal regardless of timing (bad address, closed row, wrong mode).
 func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
+	at, _, err := p.earliest(&cmd, now)
+	return at, err
+}
+
+// earliest is EarliestIssue's implementation; it additionally reports
+// whether the command broadcasts, so issue paths that just computed the
+// legality verdict can reuse it without re-deriving the handshake check.
+func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 	if err := p.cfg.addrCheck(cmd); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	t := maxi64(now, p.busyUntil)
 	tm := &p.cfg.Timing
@@ -281,23 +319,23 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 	switch cmd.Kind {
 	case CmdACT:
 		if broadcast {
-			if cmd.Row >= p.cfg.ModeRow() {
-				return 0, fmt.Errorf("hbm: broadcast ACT to the mode row is illegal")
+			if cmd.Row >= uint32(p.cfg.Rows)-1 { // ModeRow() without the Config copy
+				return 0, false, fmt.Errorf("hbm: broadcast ACT to the mode row is illegal")
 			}
 			for i := range p.banks {
 				t = maxi64(t, p.banks[i].earliestACT())
 			}
-			return t, nil
+			return t, broadcast, nil
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		if b.state == bankActive {
-			return 0, fmt.Errorf("hbm: ACT to open bank bg%d b%d", cmd.BG, cmd.Bank)
+			return 0, false, fmt.Errorf("hbm: ACT to open bank bg%d b%d", cmd.BG, cmd.Bank)
 		}
 		t = maxi64(t, b.earliestACT())
 		t = maxi64(t, p.rrdAllowed)
 		t = maxi64(t, p.rrdAllowedL[cmd.BG])
 		t = maxi64(t, p.actWindow.earliest(int64(tm.FAW)))
-		return t, nil
+		return t, broadcast, nil
 
 	case CmdPRE:
 		if broadcast {
@@ -306,13 +344,13 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 					t = maxi64(t, p.banks[i].preAllowed)
 				}
 			}
-			return t, nil
+			return t, broadcast, nil
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		if b.state != bankActive {
-			return 0, fmt.Errorf("hbm: PRE to idle bank bg%d b%d", cmd.BG, cmd.Bank)
+			return 0, false, fmt.Errorf("hbm: PRE to idle bank bg%d b%d", cmd.BG, cmd.Bank)
 		}
-		return maxi64(t, b.preAllowed), nil
+		return maxi64(t, b.preAllowed), broadcast, nil
 
 	case CmdPREA:
 		for i := range p.banks {
@@ -320,7 +358,7 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 				t = maxi64(t, p.banks[i].preAllowed)
 			}
 		}
-		return t, nil
+		return t, broadcast, nil
 
 	case CmdRD, CmdWR:
 		t = maxi64(t, p.colAllowedS)
@@ -338,11 +376,11 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 			}
 			for i := range p.banks {
 				if p.banks[i].state != bankActive {
-					return 0, fmt.Errorf("hbm: broadcast %s with bank %d idle", cmd.Kind, i)
+					return 0, false, fmt.Errorf("hbm: broadcast %s with bank %d idle", cmd.Kind, i)
 				}
 				t = maxi64(t, p.banks[i].earliestCol(cmd.Kind))
 			}
-			return t, nil
+			return t, broadcast, nil
 		}
 		t = maxi64(t, p.colAllowedL[cmd.BG])
 		if cmd.Kind == CmdRD {
@@ -350,38 +388,39 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		if b.state != bankActive {
-			return 0, fmt.Errorf("hbm: %s to idle bank bg%d b%d", cmd.Kind, cmd.BG, cmd.Bank)
+			return 0, false, fmt.Errorf("hbm: %s to idle bank bg%d b%d", cmd.Kind, cmd.BG, cmd.Bank)
 		}
-		return maxi64(t, b.earliestCol(cmd.Kind)), nil
+		return maxi64(t, b.earliestCol(cmd.Kind)), broadcast, nil
 
 	case CmdREF:
 		for i := range p.banks {
 			if p.banks[i].state == bankActive {
-				return 0, fmt.Errorf("hbm: REF with bank %d active", i)
+				return 0, false, fmt.Errorf("hbm: REF with bank %d active", i)
 			}
 			t = maxi64(t, p.banks[i].earliestACT())
 		}
-		return t, nil
+		return t, broadcast, nil
 	}
-	return 0, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+	return 0, false, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
 }
 
 // isModeHandshake reports whether cmd is part of the single-bank
 // mode-transition handshake (ACT/PRE/WR on the mode row of bank group 0,
 // bank 0 or 1).
-func (p *PseudoChannel) isModeHandshake(cmd Command) bool {
+func (p *PseudoChannel) isModeHandshake(cmd *Command) bool {
 	if p.cfg.PIMUnits == 0 {
 		return false
 	}
 	if cmd.BG != 0 || (cmd.Bank != abmrBank && cmd.Bank != sbmrBank) {
 		return false
 	}
+	modeRow := uint32(p.cfg.Rows) - 1 // ModeRow() without the Config copy
 	switch cmd.Kind {
 	case CmdACT:
-		return cmd.Row == p.cfg.ModeRow()
+		return cmd.Row == modeRow
 	case CmdPRE, CmdRD, CmdWR:
-		b := p.banks[p.flat(cmd.BG, cmd.Bank)]
-		return b.state == bankActive && b.openRow == p.cfg.ModeRow()
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		return b.state == bankActive && b.openRow == modeRow
 	}
 	return false
 }
@@ -390,24 +429,40 @@ func (p *PseudoChannel) isModeHandshake(cmd Command) bool {
 // EarliestIssue reports; Issue re-validates and errors otherwise, so a
 // controller bug cannot silently violate timing.
 func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
-	earliest, err := p.EarliestIssue(cmd, at)
+	earliest, broadcast, err := p.earliest(&cmd, at)
 	if err != nil {
 		return IssueResult{}, err
 	}
 	if at < earliest {
 		return IssueResult{}, fmt.Errorf("hbm: %s issued at %d before earliest legal cycle %d", cmd, at, earliest)
 	}
+	return p.apply(&cmd, at, broadcast)
+}
+
+// IssueEarliest issues cmd at the earliest legal cycle at or after now —
+// EarliestIssue's computation and Issue's execution in a single
+// validation pass. Controllers with no delay hook between scheduling and
+// issue use it; the chosen cycle comes back in IssueResult.Cycle.
+func (p *PseudoChannel) IssueEarliest(cmd Command, now int64) (IssueResult, error) {
+	at, broadcast, err := p.earliest(&cmd, now)
+	if err != nil {
+		return IssueResult{}, err
+	}
+	return p.apply(&cmd, at, broadcast)
+}
+
+// apply executes an already-validated command at cycle at.
+func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool) (IssueResult, error) {
 	res := IssueResult{Cycle: at}
 	tm := &p.cfg.Timing
-	broadcast := p.mode != ModeSB && !p.isModeHandshake(cmd)
 
 	switch cmd.Kind {
 	case CmdACT:
 		if broadcast {
 			for i := range p.banks {
 				p.banks[i].activate(cmd.Row, at, tm)
-				p.bankOps[i].ACT++
 			}
+			p.bcastOps.ACT++
 			p.stats.ABACT++
 			return res, nil
 		}
@@ -473,7 +528,7 @@ func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
 
 // updateColumnTiming applies bus occupancy and turnaround bookkeeping for
 // a column command issued at cycle at.
-func (p *PseudoChannel) updateColumnTiming(cmd Command, at int64, broadcast bool) {
+func (p *PseudoChannel) updateColumnTiming(cmd *Command, at int64, broadcast bool) {
 	tm := &p.cfg.Timing
 	p.colAllowedS = maxi64(p.colAllowedS, at+int64(tm.CCDS))
 	if broadcast {
@@ -504,7 +559,7 @@ func (p *PseudoChannel) updateColumnTiming(cmd Command, at int64, broadcast bool
 // issueSBColumn performs a single-bank column access: either a normal data
 // access through the I/O PHY or a PIM register access when the open row is
 // in the configuration space.
-func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult, error) {
+func (p *PseudoChannel) issueSBColumn(cmd *Command, res IssueResult) (IssueResult, error) {
 	idx := p.flat(cmd.BG, cmd.Bank)
 	b := &p.banks[idx]
 	b.column(cmd.Kind, res.Cycle, &p.cfg.Timing)
@@ -543,20 +598,26 @@ func (p *PseudoChannel) issueSBColumn(cmd Command, res IssueResult) (IssueResult
 }
 
 // issueBroadcastColumn performs an AB or AB-PIM column access.
-func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (IssueResult, error) {
+func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (IssueResult, error) {
 	openRow := p.banks[0].openRow
-	for i := range p.banks {
-		p.banks[i].column(cmd.Kind, res.Cycle, &p.cfg.Timing)
-		if cmd.Kind == CmdRD {
-			p.bankOps[i].RD++
-		} else {
-			p.bankOps[i].WR++
-		}
-	}
+	// Every bank takes the same column timing update; hoist the computed
+	// precharge fence out of the 16-bank loop (bank.column per bank was
+	// the hottest block of the timing-only profile).
+	tm := &p.cfg.Timing
+	var pre int64
 	if cmd.Kind == CmdRD {
+		pre = res.Cycle + int64(tm.RTP)
+		p.bcastOps.RD++
 		p.stats.ABRD++
 	} else {
+		pre = res.Cycle + int64(tm.WL+tm.BL/2+tm.WR)
+		p.bcastOps.WR++
 		p.stats.ABWR++
+	}
+	for i := range p.banks {
+		if b := &p.banks[i]; pre > b.preAllowed {
+			b.preAllowed = pre
+		}
 	}
 
 	// Register space: broadcast to every PIM unit.
@@ -620,7 +681,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd Command, res IssueResult) (Issu
 }
 
 // registerAccess routes a column command on a configuration row.
-func (p *PseudoChannel) registerAccess(cmd Command, res IssueResult, space RegSpace, bankIdxs []int) (IssueResult, error) {
+func (p *PseudoChannel) registerAccess(cmd *Command, res IssueResult, space RegSpace, bankIdxs []int) (IssueResult, error) {
 	if space == RegMode {
 		if cmd.Kind == CmdWR && cmd.Col == ColPIMOpMode {
 			return res, p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1, res.Cycle)
@@ -714,6 +775,16 @@ func (a *pchBankAccess) ReadBank(bankIdx int, col uint32, buf []byte) error {
 		return p.bankReadData(b, bankIdx, col, buf)
 	}
 	return nil
+}
+
+// ReplicateBankAccess implements BankAccessReplicator: in timing-only
+// mode a bank access is exactly one counter bump (the data path is
+// skipped), so replicating units [1, n) of a lockstep executor is pure
+// arithmetic on the same counters.
+func (a *pchBankAccess) ReplicateBankAccess(reads, writes, times int64) {
+	p := (*PseudoChannel)(a)
+	p.stats.BankReads += reads * times
+	p.stats.BankWrites += writes * times
 }
 
 func (a *pchBankAccess) WriteBank(bankIdx int, col uint32, data []byte) error {

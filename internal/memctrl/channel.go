@@ -34,7 +34,8 @@ type Channel struct {
 
 	openABRow   uint32 // currently open broadcast row (PIM bursts)
 	abRowOpen   bool
-	lastDataEnd int64 // completion cycle of the latest column data transfer
+	lastDataEnd int64  // completion cycle of the latest column data transfer
+	modeRow     uint32 // cfg.ModeRow(), cached off the per-command path
 
 	m *chanMetrics
 
@@ -85,6 +86,7 @@ func NewChannel(pch *hbm.PseudoChannel, cfg hbm.Config) *Channel {
 		cfg:         cfg,
 		nextRefresh: int64(cfg.Timing.REFI),
 		FenceCycles: DefaultFenceCycles,
+		modeRow:     cfg.ModeRow(),
 		m:           newChanMetrics(metrics.New(1), 0),
 	}
 }
@@ -107,10 +109,16 @@ func (c *Channel) MetricsShard() int { return c.m.shard }
 func (c *Channel) Now() int64 { return c.now }
 
 // AdvanceTo moves the channel clock forward (host-side idle time).
-func (c *Channel) AdvanceTo(t int64) {
-	if t > c.now {
-		c.now = t
+// Advancing to the current cycle is a no-op; a target behind the clock
+// is surfaced as an error — under a parallel engine a backwards advance
+// means a cross-channel join computed a stale frontier (a scheduler
+// bug), and swallowing it would let the two clocks silently diverge.
+func (c *Channel) AdvanceTo(t int64) error {
+	if t < c.now {
+		return fmt.Errorf("memctrl: AdvanceTo(%d) behind channel clock %d (non-monotonic advance)", t, c.now)
 	}
+	c.now = t
+	return nil
 }
 
 // Fences returns how many fences this channel executed.
@@ -137,22 +145,31 @@ func (c *Channel) Issue(cmd hbm.Command) (hbm.IssueResult, error) {
 	return res, nil
 }
 
-// issueRaw issues without refresh checks.
+// issueRaw issues without refresh checks. With no delay hook the
+// schedule-then-issue round trip collapses into the device's single-pass
+// IssueEarliest (the command stream validates once, not twice); a Delayer
+// needs the split so it can push the issue cycle between the two halves.
 func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
-	at, err := c.pch.EarliestIssue(cmd, c.now)
-	if err != nil {
-		return hbm.IssueResult{}, err
-	}
+	var res hbm.IssueResult
+	var err error
 	if c.Delay != nil {
+		var at int64
+		at, err = c.pch.EarliestIssue(cmd, c.now)
+		if err != nil {
+			return hbm.IssueResult{}, err
+		}
 		c.delaySeq++
 		if extra := c.Delay.ExtraIssueCycles(c.ChannelID, c.delaySeq, at); extra > 0 {
 			at += extra
 		}
+		res, err = c.pch.Issue(cmd, at)
+	} else {
+		res, err = c.pch.IssueEarliest(cmd, c.now)
 	}
-	res, err := c.pch.Issue(cmd, at)
 	if err != nil {
 		return hbm.IssueResult{}, err
 	}
+	at := res.Cycle
 	if c.Trace != nil {
 		c.Trace.Record(trace.Event{
 			Cycle: at, Channel: c.ChannelID, Kind: cmd.Kind,
@@ -193,7 +210,7 @@ func (c *Channel) trackState(cmd hbm.Command) {
 	}
 	switch cmd.Kind {
 	case hbm.CmdACT:
-		if cmd.Row < c.cfg.ModeRow() {
+		if cmd.Row < c.modeRow {
 			c.openABRow = cmd.Row
 			c.abRowOpen = true
 		}

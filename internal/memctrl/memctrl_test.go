@@ -300,6 +300,27 @@ func TestRefreshHappensInSBMode(t *testing.T) {
 	}
 }
 
+// TestAdvanceToRejectsBackwards pins the non-monotonic-clock guard: a
+// target behind the channel clock means a cross-channel join computed a
+// stale frontier (a scheduler bug) and must surface as an error rather
+// than silently rewinding simulated time.
+func TestAdvanceToRejectsBackwards(t *testing.T) {
+	cfg := hbm.HBM2Config(1000)
+	ch, _ := newChan(t, cfg)
+	if err := ch.AdvanceTo(100); err != nil {
+		t.Fatalf("forward advance: %v", err)
+	}
+	if err := ch.AdvanceTo(100); err != nil {
+		t.Fatalf("same-cycle advance must be a no-op: %v", err)
+	}
+	if err := ch.AdvanceTo(99); err == nil {
+		t.Fatal("backwards advance succeeded, want error")
+	}
+	if got := ch.Now(); got != 100 {
+		t.Errorf("clock is %d after a rejected advance, want 100 (unchanged)", got)
+	}
+}
+
 // TestRefreshDuringPIMBurstPreservesResults shrinks tREFI so refreshes
 // land in the middle of an AB-PIM kernel, and checks that the channel
 // transparently closes, refreshes, reopens, and the kernel's numeric

@@ -97,3 +97,44 @@ func TestQuantileEdges(t *testing.T) {
 		t.Errorf("Quantile(2) = %v, want 10", got)
 	}
 }
+
+// TestQuantileDegenerateInputs pins every pathological p and histogram
+// shape to a defined answer: no NaN/Inf escapes, no panic, no silent
+// max-bound masquerading as a tail estimate.
+func TestQuantileDegenerateInputs(t *testing.T) {
+	r := New(1)
+	h := r.Histogram("d", []int64{10, 100})
+	for i := 0; i < 10; i++ {
+		h.Observe(0, 5) // all mass in the (0,10] bucket
+	}
+	s := r.Snapshot().Histograms["d"]
+	empty := HistogramSnapshot{}
+	noBounds := HistogramSnapshot{Count: 3, Buckets: []int64{3}}
+
+	for _, tc := range []struct {
+		name string
+		h    HistogramSnapshot
+		p    float64
+		want func(got float64) bool
+		desc string
+	}{
+		{"NaN p", s, math.NaN(), func(g float64) bool { return g == 0 }, "0"},
+		{"+Inf p", s, math.Inf(1), func(g float64) bool { return g == 10 }, "clamp to p=1 (10)"},
+		{"-Inf p", s, math.Inf(-1), func(g float64) bool { return g > 0 && g <= 10 }, "below-first-rank, inside (0,10]"},
+		{"negative p", s, -0.5, func(g float64) bool { return g > 0 && g <= 10 }, "below-first-rank, inside (0,10]"},
+		{"zero p", s, 0, func(g float64) bool { return g > 0 && g <= 10 }, "below-first-rank, inside (0,10]"},
+		{"p exactly 1", s, 1, func(g float64) bool { return g == 10 }, "bucket upper edge 10"},
+		{"empty histogram", empty, 0.5, func(g float64) bool { return g == 0 }, "0"},
+		{"empty histogram NaN", empty, math.NaN(), func(g float64) bool { return g == 0 }, "0"},
+		{"no bounds", noBounds, 0.5, func(g float64) bool { return g == 0 }, "0"},
+	} {
+		got := tc.h.Quantile(tc.p)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: Quantile(%v) = %v, must be finite", tc.name, tc.p, got)
+			continue
+		}
+		if !tc.want(got) {
+			t.Errorf("%s: Quantile(%v) = %v, want %s", tc.name, tc.p, got, tc.desc)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -37,9 +38,13 @@ type HistogramSnapshot struct {
 //
 // The estimate for a quantile that lands in the +Inf overflow bucket is
 // clamped to the highest finite bound (an underestimate — widen the
-// buckets if that matters). An empty histogram reports 0.
+// buckets if that matters). An empty histogram reports 0, as does a NaN
+// p — NaN would sail through every rank comparison and silently return
+// the highest bound, masquerading as a real tail estimate. p <= 0 (−Inf
+// included) is taken below the first observation's rank; p >= 1 (+Inf
+// included) clamps to the maximum.
 func (h HistogramSnapshot) Quantile(p float64) float64 {
-	if h.Count == 0 || len(h.Bounds) == 0 {
+	if h.Count == 0 || len(h.Bounds) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p <= 0 {

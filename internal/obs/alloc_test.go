@@ -58,10 +58,62 @@ func TestEnabledTimelineSteadyStateAllocs(t *testing.T) {
 	for i := int64(0); i < 512; i++ {
 		c.Cmd(i, "RD", 0, 0, 0, 0, false)
 	}
-	c.cmds = c.cmds[:0]
+	c.Reset()
 	if n := testing.AllocsPerRun(100, func() {
 		c.Cmd(1, "ACT", 0, 1, 42, 0, false)
 	}); n != 0 {
 		t.Errorf("warm timeline Cmd allocates %.1f per op, want 0", n)
 	}
+}
+
+// A Reset timeline re-records a full run without allocating: Reset keeps
+// buffer capacity. This pins the traced-benchmark fix — rebuilding the
+// timeline per run once cost ~9.9 MB/op against ~0.5 MB untraced.
+func TestResetTimelineReuseAllocs(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Channels: 2, MaxPerChannel: 1 << 12})
+	record := func() {
+		for ch := 0; ch < 2; ch++ {
+			c := tl.Channel(ch)
+			for i := int64(0); i < 1024; i++ {
+				c.Cmd(i, "RD", 0, 0, 0, 0, true)
+				c.PIMInstr(i, 8)
+			}
+			c.ModeChange(0, "AB")
+		}
+	}
+	record() // first run grows the buffers
+	if n := testing.AllocsPerRun(10, func() {
+		tl.Reset()
+		record()
+	}); n != 0 {
+		t.Errorf("reset-reuse run allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestResetClearsEventsAndDrops(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Channels: 1, MaxPerChannel: 2})
+	c := tl.Channel(0)
+	for i := int64(0); i < 5; i++ {
+		c.Cmd(i, "RD", 0, 0, 0, 0, false)
+	}
+	if tl.Dropped() == 0 {
+		t.Fatal("expected drops past the cap")
+	}
+	tl.Reset()
+	if got := tl.Events(); got != 0 {
+		t.Errorf("Events after Reset = %d, want 0", got)
+	}
+	if got := tl.Dropped(); got != 0 {
+		t.Errorf("Dropped after Reset = %d, want 0", got)
+	}
+	// The cap applies afresh after Reset.
+	c.Cmd(1, "RD", 0, 0, 0, 0, false)
+	if got := len(c.Cmds()); got != 1 {
+		t.Errorf("Cmds after Reset+record = %d, want 1", got)
+	}
+	// Nil receivers stay safe.
+	var nc *ChannelTimeline
+	nc.Reset()
+	var ntl *Timeline
+	ntl.Reset()
 }

@@ -72,6 +72,19 @@ func NewTimeline(cfg TimelineConfig) *Timeline {
 	return tl
 }
 
+// Reset discards all recorded events while keeping every channel's
+// buffer capacity, so a long-lived Timeline (benchmark harnesses,
+// repeated sweeps) records run after run without reallocating — growing
+// the buffers from scratch costs megabytes per run.
+func (t *Timeline) Reset() {
+	if t == nil {
+		return
+	}
+	for _, c := range t.chans {
+		c.Reset()
+	}
+}
+
 // Channel returns channel i's buffer (nil if out of range, which keeps
 // the hook nil-safe on misconfigured wiring).
 func (t *Timeline) Channel(i int) *ChannelTimeline {
@@ -139,6 +152,18 @@ type ChannelTimeline struct {
 	modes   []ModeEvent
 	pims    []PIMEvent
 	dropped int64
+}
+
+// Reset truncates the channel's event buffers in place (capacity kept)
+// and clears the drop counter.
+func (c *ChannelTimeline) Reset() {
+	if c == nil {
+		return
+	}
+	c.cmds = c.cmds[:0]
+	c.modes = c.modes[:0]
+	c.pims = c.pims[:0]
+	c.dropped = 0
 }
 
 // Cmd records one issued command.

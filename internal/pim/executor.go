@@ -10,15 +10,49 @@ import (
 
 // Executor holds the PIM execution units of one pseudo channel and drives
 // them in lock step. It implements hbm.PIMExecutor.
+//
+// Lockstep is an invariant, not an approximation: register programming
+// broadcasts identical CRF/SRF/GRF contents to every unit, a trigger
+// steps every unit through the same command slot, and broadcast column
+// commands require every bank active — so all units always share the
+// same control state (PPC, loop counters, done flag, retirement
+// counts). In timing-only mode the executor exploits this by stepping
+// only unit 0 per trigger and deferring the mirror units' state until a
+// reader needs it (see syncUnits); data-bearing functional runs step
+// every unit, since their register contents diverge per bank.
 type Executor struct {
 	units        []*Unit
 	banksPerUnit int
 	triggers     int64
 
+	// desync marks units [1, n) stale relative to unit 0 after lockstep
+	// fast-path triggers; syncUnits repairs them before any readout.
+	desync bool
+	// cnt is the reusable access-counting adapter for the fast path.
+	cnt countingAccess
+
 	// TL, when set, records per-trigger retired-instruction counts into
 	// the observability timeline (the Perfetto PIM-activity counter
 	// track). Nil costs one pointer compare per trigger.
 	TL *obs.ChannelTimeline
+}
+
+// countingAccess wraps a BankAccess and counts the accesses flowing
+// through it, so one representative unit's bank traffic can be
+// replicated for its lockstep mirrors.
+type countingAccess struct {
+	inner         hbm.BankAccess
+	reads, writes int64
+}
+
+func (c *countingAccess) ReadBank(bankIdx int, col uint32, buf []byte) error {
+	c.reads++
+	return c.inner.ReadBank(bankIdx, col, buf)
+}
+
+func (c *countingAccess) WriteBank(bankIdx int, col uint32, data []byte) error {
+	c.writes++
+	return c.inner.WriteBank(bankIdx, col, data)
 }
 
 // NewExecutor builds the execution layer for a PIM device configuration.
@@ -59,7 +93,10 @@ func Attach(dev *hbm.Device) ([]*Executor, error) {
 }
 
 // Unit returns execution unit i (for result readout and tests).
-func (e *Executor) Unit(i int) *Unit { return e.units[i] }
+func (e *Executor) Unit(i int) *Unit {
+	e.syncUnits()
+	return e.units[i]
+}
 
 // NumUnits returns the number of units.
 func (e *Executor) NumUnits() int { return len(e.units) }
@@ -81,10 +118,10 @@ func (e *Executor) RegisterRead(unit int, space hbm.RegSpace, col uint32, buf []
 }
 
 // Trigger implements hbm.PIMExecutor: one column command advances every
-// unit by one command slot.
+// unit by one command slot. Timing-only devices take the lockstep fast
+// path when the bank-access provider can account replicated traffic.
 func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
 	e.triggers++
-	var info hbm.TriggerInfo
 	sc := stepContext{
 		kind:       ctx.Kind,
 		bankSel:    ctx.BankSel,
@@ -95,6 +132,12 @@ func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
 		variant:    ctx.Variant,
 		functional: ctx.Functional,
 	}
+	if !ctx.Functional && len(e.units) > 1 {
+		if rep, ok := ctx.Access.(hbm.BankAccessReplicator); ok {
+			return e.triggerLockstep(&sc, rep, ctx.Cycle)
+		}
+	}
+	var info hbm.TriggerInfo
 	for i, u := range e.units {
 		sc.evenBank = i * e.banksPerUnit
 		sc.oddBank = i*e.banksPerUnit + e.banksPerUnit - 1
@@ -112,8 +155,63 @@ func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
 	return info, nil
 }
 
+// triggerLockstep steps only unit 0 and accounts units [1, n) as exact
+// mirrors: retirement counts multiply, bank traffic replicates through
+// the BankAccessReplicator, and mirror control state is repaired lazily
+// by syncUnits. Valid because timing-only execution touches no
+// per-unit data (register contents are never read) and every unit would
+// execute the identical slot against banks in the identical state. On
+// error every unit would have failed the same way; the partial counts
+// returned with an error are discarded by the device layer either way.
+func (e *Executor) triggerLockstep(sc *stepContext, rep hbm.BankAccessReplicator, cycle int64) (hbm.TriggerInfo, error) {
+	n := len(e.units)
+	e.cnt.inner = sc.access
+	e.cnt.reads, e.cnt.writes = 0, 0
+	sc.access = &e.cnt
+	sc.evenBank = 0
+	sc.oddBank = e.banksPerUnit - 1
+	e.desync = true
+	c, err := e.units[0].step(sc)
+	info := hbm.TriggerInfo{
+		Instructions: c.instrs * n,
+		Arithmetic:   c.arith * n,
+		DataMoves:    c.moves * n,
+	}
+	if err != nil {
+		return info, fmt.Errorf("pim: unit 0: %w", err)
+	}
+	if e.cnt.reads != 0 || e.cnt.writes != 0 {
+		rep.ReplicateBankAccess(e.cnt.reads, e.cnt.writes, int64(n-1))
+	}
+	if e.TL != nil {
+		e.TL.PIMInstr(cycle, info.Instructions)
+	}
+	return info, nil
+}
+
+// syncUnits copies unit 0's control state onto the mirror units after
+// lockstep fast-path triggers. The decode caches need no copy: every
+// unit holds identical CRF words and decodes lazily.
+func (e *Executor) syncUnits() {
+	if !e.desync {
+		return
+	}
+	e.desync = false
+	u0 := e.units[0]
+	for _, u := range e.units[1:] {
+		u.ppc = u0.ppc
+		u.nopLeft = u0.nopLeft
+		u.done = u0.done
+		u.jumpLeft = u0.jumpLeft
+		u.jumpArmed = u0.jumpArmed
+		u.opRetired = u0.opRetired
+		u.aamRetired = u0.aamRetired
+	}
+}
+
 // ResetPPC implements hbm.PIMExecutor.
 func (e *Executor) ResetPPC() {
+	e.desync = false // every unit is reset to the same state anyway
 	for _, u := range e.units {
 		u.resetPPC()
 	}
@@ -130,6 +228,7 @@ func (e *Executor) Program(unit int) ([]isa.Instruction, error) {
 
 // AllDone reports whether every unit has retired EXIT.
 func (e *Executor) AllDone() bool {
+	e.syncUnits()
 	for _, u := range e.units {
 		if !u.Done() {
 			return false
@@ -145,6 +244,7 @@ func (e *Executor) Triggers() int64 { return e.triggers }
 // units, indexed by isa.Opcode. It allocates nothing and is the accessor
 // repeated callers (metrics scrapes, single-opcode queries) should use.
 func (e *Executor) OpCountsArray() [isa.NumOpcodes]int64 {
+	e.syncUnits()
 	var out [isa.NumOpcodes]int64
 	for _, u := range e.units {
 		for op, n := range u.opRetired {
@@ -171,6 +271,7 @@ func (e *Executor) OpCounts() map[isa.Opcode]int64 {
 // AAMInstructions returns retired address-aligned-mode instructions,
 // summed over units.
 func (e *Executor) AAMInstructions() int64 {
+	e.syncUnits()
 	var t int64
 	for _, u := range e.units {
 		t += u.aamRetired

@@ -7,9 +7,9 @@ package runtime
 
 import (
 	"fmt"
-	"sync"
 
 	"pimsim/internal/driver"
+	"pimsim/internal/engine"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
 	"pimsim/internal/isa"
@@ -46,41 +46,62 @@ type Runtime struct {
 	// simulating the remaining symmetric channels would only repeat it.
 	SimChannels int
 
-	// ParallelKernels lets BLAS kernels drive each channel's command
-	// stream from its own goroutine. Channels are fully independent (own
-	// clock, banks, execution units), so results and cycle counts are
-	// identical to the sequential order; only host wall-clock changes.
+	// ParallelKernels, when set with no engine installed, auto-installs
+	// a parallel engine on first use. Channels are fully independent
+	// (own clock, banks, execution units), so results and cycle counts
+	// are identical to the sequential order; only host wall-clock
+	// changes. New code should call UseEngine directly.
 	ParallelKernels bool
+
+	// eng dispatches per-channel kernel work. Nil runs channels
+	// sequentially on the caller's goroutine (engine.Serial semantics
+	// without the indirection).
+	eng engine.Engine
 }
 
-// ForEachChannel runs fn(ch) for the kernel's effective channels, in
-// parallel when ParallelKernels is set. The first error wins.
+// UseEngine installs the execution engine that ForEachChannel dispatches
+// kernel channel work through, closing any previously installed engine.
+// Call while kernels are quiescent.
+func (r *Runtime) UseEngine(e engine.Engine) {
+	if r.eng != nil {
+		r.eng.Close()
+	}
+	r.eng = e
+}
+
+// EngineName reports the installed engine ("serial" when none is).
+func (r *Runtime) EngineName() string {
+	if r.eng == nil {
+		return engine.Serial{}.Name()
+	}
+	return r.eng.Name()
+}
+
+// CloseEngine releases the installed engine's workers (idempotent).
+func (r *Runtime) CloseEngine() {
+	if r.eng != nil {
+		r.eng.Close()
+		r.eng = nil
+	}
+}
+
+// ForEachChannel runs fn(ch) for the kernel's effective channels through
+// the installed engine and returns after every channel quiesced (the
+// result-join barrier). The lowest-channel error wins.
 func (r *Runtime) ForEachChannel(fn func(ch int) error) error {
 	n := r.EffectiveChannels()
-	if !r.ParallelKernels || n == 1 {
-		for ch := 0; ch < n; ch++ {
-			if err := fn(ch); err != nil {
-				return err
+	if r.eng == nil {
+		if !r.ParallelKernels || n == 1 {
+			for ch := 0; ch < n; ch++ {
+				if err := fn(ch); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-		return nil
+		r.eng = engine.NewParallel(len(r.Chans))
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for ch := 0; ch < n; ch++ {
-		wg.Add(1)
-		go func(ch int) {
-			defer wg.Done()
-			errs[ch] = fn(ch)
-		}(ch)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.eng.Run(n, fn)
 }
 
 // EffectiveChannels returns how many channels kernels should drive.
@@ -479,11 +500,16 @@ func (r *Runtime) MaxNow() int64 {
 }
 
 // SyncChannels advances every channel to the global maximum (a host-side
-// join across thread groups).
+// join across thread groups). It runs at the engine's result-join
+// barrier, so every clock is quiescent and at most MaxNow; a backwards
+// advance here would mean a channel ticked during the join, which is a
+// scheduler invariant violation worth crashing on.
 func (r *Runtime) SyncChannels() {
 	m := r.MaxNow()
-	for _, c := range r.Chans {
-		c.AdvanceTo(m)
+	for i, c := range r.Chans {
+		if err := c.AdvanceTo(m); err != nil {
+			panic(fmt.Sprintf("runtime: SyncChannels ch%d: %v", i, err))
+		}
 	}
 }
 

@@ -320,8 +320,12 @@ func TestForEachChannelParallelAndErrors(t *testing.T) {
 		t.Errorf("got %v", err)
 	}
 
-	// Sequential path stops at the first error.
+	// Sequential path stops at the first error. ParallelKernels
+	// auto-installed a parallel engine above; drop it too, or the engine
+	// (which must run every channel to reach its join barrier) keeps
+	// dispatching.
 	rt.ParallelKernels = false
+	rt.CloseEngine()
 	calls := 0
 	err = rt.ForEachChannel(func(ch int) error {
 		calls++

@@ -21,6 +21,10 @@ import (
 // Close guarantees zero dropped accepted requests.
 func (s *Server) batcher(m *model) {
 	defer s.wg.Done()
+	// One straggler timer serves every batch this goroutine forms;
+	// allocating a fresh time.Timer per flush cycle churned the heap and
+	// leaned on GC to collect still-armed timers.
+	var ft flushTimer
 	for {
 		first, ok := <-m.queue
 		if !ok {
@@ -28,7 +32,7 @@ func (s *Server) batcher(m *model) {
 		}
 		s.queueDepth.Add(0, -1)
 		first.qspan.End()
-		batch := s.collect(m, first)
+		batch := s.collect(m, first, &ft)
 		sh := s.lease()
 		if sh == nil {
 			s.failBatch(batch, http.StatusServiceUnavailable, errDrainNoShards)
@@ -72,15 +76,74 @@ func (s *Server) failBatch(batch []*request, status int, err error) {
 	}
 }
 
+// batchTimer is the minimal timer surface the batcher needs. The
+// indirection (Server.newTimer) lets tests drive flushes with a
+// deterministic clock instead of sleeping through real BatchWait
+// windows.
+type batchTimer interface {
+	C() <-chan time.Time
+	Reset(d time.Duration)
+	Stop() bool
+}
+
+type realTimer struct{ t *time.Timer }
+
+func newRealTimer(d time.Duration) batchTimer { return realTimer{time.NewTimer(d)} }
+
+func (r realTimer) C() <-chan time.Time   { return r.t.C }
+func (r realTimer) Reset(d time.Duration) { r.t.Reset(d) }
+func (r realTimer) Stop() bool            { return r.t.Stop() }
+
+// flushTimer reuses one batchTimer across batches with the Stop-and-drain
+// discipline timer reuse requires: a Reset is only safe once the previous
+// arming is stopped and any tick it parked in the channel is consumed.
+// Without the drain, a tick that fired between the last queue receive and
+// disarm would survive into the next batch and flush it instantly —
+// collapsing every subsequent batch to size one under light load.
+type flushTimer struct {
+	timer batchTimer
+	fired bool // the current arming's tick was received from C
+}
+
+func (f *flushTimer) arm(newTimer func(time.Duration) batchTimer, d time.Duration) <-chan time.Time {
+	if f.timer == nil {
+		f.timer = newTimer(d)
+	} else {
+		f.timer.Reset(d)
+	}
+	f.fired = false
+	return f.timer.C()
+}
+
+// expired records that the current arming's tick was consumed, so disarm
+// knows there is nothing left to drain.
+func (f *flushTimer) expired() { f.fired = true }
+
+// disarm stops the timer after a batch completes. Stop reporting false
+// with no tick consumed means the tick is parked in the channel (old
+// asynchronous-timer semantics) — drain it non-blockingly, which is also
+// correct under Go 1.23+ synchronous timers where Stop discards the tick.
+func (f *flushTimer) disarm() {
+	if f.timer == nil {
+		return
+	}
+	if !f.timer.Stop() && !f.fired {
+		select {
+		case <-f.timer.C():
+		default:
+		}
+	}
+}
+
 // collect gathers up to maxBatch-1 followers behind first, waiting at
 // most BatchWait for stragglers. A closed queue flushes immediately.
-func (s *Server) collect(m *model, first *request) []*request {
+func (s *Server) collect(m *model, first *request, ft *flushTimer) []*request {
 	batch := []*request{first}
 	if m.maxBatch <= 1 {
 		return batch
 	}
-	timer := time.NewTimer(s.cfg.BatchWait)
-	defer timer.Stop()
+	tick := ft.arm(s.newTimer, s.cfg.BatchWait)
+	defer ft.disarm()
 	for len(batch) < m.maxBatch {
 		select {
 		case r, ok := <-m.queue:
@@ -90,7 +153,8 @@ func (s *Server) collect(m *model, first *request) []*request {
 			s.queueDepth.Add(0, -1)
 			r.qspan.End()
 			batch = append(batch, r)
-		case <-timer.C:
+		case <-tick:
+			ft.expired()
 			return batch
 		}
 	}

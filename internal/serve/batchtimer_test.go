@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBatchTimer is a hand-driven batchTimer: tests fire ticks into ch
+// and script Stop's return value, so flush timing is deterministic — no
+// sleeping through real BatchWait windows.
+type fakeBatchTimer struct {
+	mu      sync.Mutex
+	ch      chan time.Time
+	resets  int
+	stops   int
+	stopRet bool
+}
+
+func newFakeBatchTimer() *fakeBatchTimer {
+	return &fakeBatchTimer{ch: make(chan time.Time, 1), stopRet: true}
+}
+
+func (f *fakeBatchTimer) C() <-chan time.Time { return f.ch }
+
+func (f *fakeBatchTimer) Reset(d time.Duration) {
+	f.mu.Lock()
+	f.resets++
+	f.mu.Unlock()
+}
+
+func (f *fakeBatchTimer) Stop() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stops++
+	return f.stopRet
+}
+
+func (f *fakeBatchTimer) fire() { f.ch <- time.Now() }
+
+func (f *fakeBatchTimer) counts() (resets, stops int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resets, f.stops
+}
+
+// TestFlushTimerDrainsStaleTick is the regression for the timer-reuse
+// hazard: a batch fills to maxBatch, the straggler timer expires before
+// disarm can stop it, and the tick parks in the channel. The next batch's
+// arm must not see that stale tick — it would flush the batch instantly,
+// collapsing batching under light load.
+func TestFlushTimerDrainsStaleTick(t *testing.T) {
+	fake := newFakeBatchTimer()
+	factory := func(d time.Duration) batchTimer { return fake }
+	ft := &flushTimer{}
+
+	ft.arm(factory, time.Second)
+	// The batch filled on size; the timer expired in the gap before
+	// disarm. Old-style asynchronous timers park the tick in the channel
+	// and report Stop() == false.
+	fake.fire()
+	fake.stopRet = false
+	ft.disarm()
+
+	tick := ft.arm(factory, time.Second)
+	select {
+	case <-tick:
+		t.Fatal("stale tick from the previous batch leaked into the new arming")
+	default:
+	}
+	if resets, stops := fake.counts(); resets != 1 || stops != 1 {
+		t.Errorf("resets=%d stops=%d, want 1 reset (timer reused, not rebuilt) and 1 stop", resets, stops)
+	}
+}
+
+// TestFlushTimerConsumedTickDisarm covers the two remaining disarm
+// paths: a consumed tick must not be drained again, and (Go 1.23+
+// synchronous-timer semantics) Stop() == false with an empty channel
+// must not block.
+func TestFlushTimerConsumedTickDisarm(t *testing.T) {
+	fake := newFakeBatchTimer()
+	factory := func(d time.Duration) batchTimer { return fake }
+	ft := &flushTimer{}
+
+	// Path 1: the tick was consumed by collect (timeout flush).
+	tick := ft.arm(factory, time.Second)
+	fake.fire()
+	<-tick
+	ft.expired()
+	fake.stopRet = false
+	done := make(chan struct{})
+	go func() { ft.disarm(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disarm blocked after a consumed tick")
+	}
+
+	// Path 2: synchronous-timer world — Stop reports false yet the
+	// channel is empty because the runtime discarded the tick.
+	ft.arm(factory, time.Second)
+	done = make(chan struct{})
+	go func() { ft.disarm(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disarm blocked on an empty channel")
+	}
+}
+
+// TestBatcherDeterministicStragglerFlush drives a real pipeline with the
+// fake timer: BatchWait is an hour, so the only way the lone request can
+// flush is the injected tick. Proves collect flushes on the timer signal
+// and that the batcher reuses one timer across batches.
+func TestBatcherDeterministicStragglerFlush(t *testing.T) {
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 4,
+		BatchWait: time.Hour,
+		Models:    []ModelSpec{tiny},
+	})
+	var (
+		mu     sync.Mutex
+		timers []*fakeBatchTimer
+	)
+	// Installed before any request: the batcher reads newTimer only after
+	// receiving from the queue, so the channel send orders this write.
+	s.newTimer = func(d time.Duration) batchTimer {
+		if d != time.Hour {
+			t.Errorf("timer armed with %v, want BatchWait (1h)", d)
+		}
+		f := newFakeBatchTimer()
+		mu.Lock()
+		timers = append(timers, f)
+		mu.Unlock()
+		return f
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in, _ := testInput(tiny.K, 5)
+	body := inferBody(t, "tiny", in)
+
+	for round := 0; round < 2; round++ {
+		respCh := make(chan *InferResponse, 1)
+		go func() {
+			resp, b := postInfer(t, ts, body)
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d: %s", resp.StatusCode, b)
+				respCh <- nil
+				return
+			}
+			var ir InferResponse
+			if err := json.Unmarshal(b, &ir); err != nil {
+				t.Error(err)
+				respCh <- nil
+				return
+			}
+			respCh <- &ir
+		}()
+
+		// Wait for the batcher to arm the straggler timer, then fire it.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			n := len(timers)
+			var armed bool
+			if n > 0 {
+				resets, _ := timers[0].counts()
+				armed = round == 0 || resets >= round
+			}
+			mu.Unlock()
+			if n > 0 && armed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("batcher never armed the flush timer")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		f := timers[0]
+		mu.Unlock()
+		f.fire()
+
+		ir := <-respCh
+		if ir == nil {
+			t.Fatalf("round %d: request failed", round)
+		}
+		if ir.BatchSize != 1 {
+			t.Errorf("round %d: batch size %d, want 1 (straggler flush)", round, ir.BatchSize)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(timers) != 1 {
+		t.Errorf("batcher built %d timers over 2 batches, want 1 (reused via Reset)", len(timers))
+	}
+}

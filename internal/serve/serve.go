@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"pimsim/internal/blas"
+	"pimsim/internal/engine"
 	"pimsim/internal/fault"
 	"pimsim/internal/fp16"
 	"pimsim/internal/hbm"
@@ -107,6 +108,12 @@ type Config struct {
 	Channels int // pseudo channels per shard (default 4)
 	MHz      int // memory clock (default 1200, the paper's part)
 
+	// Engine selects how each shard's runtime drives its pseudo
+	// channels: "parallel" (default; worker-per-pCH goroutine pool) or
+	// "serial" (sequential oracle — bit-for-bit identical results,
+	// lower throughput).
+	Engine string
+
 	Models []ModelSpec // preloaded on every shard (default DefaultModels)
 
 	MaxBatch       int           // batch bound; clamped to Channels (default Channels)
@@ -160,6 +167,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MHz <= 0 {
 		c.MHz = 1200
+	}
+	if c.Engine == "" {
+		c.Engine = "parallel"
 	}
 	if c.Models == nil {
 		c.Models = DefaultModels()
@@ -318,6 +328,11 @@ type Server struct {
 
 	tracer *obs.Tracer  // nil = tracing disabled
 	logger *slog.Logger // nil = access logging disabled
+
+	// newTimer builds the batchers' straggler-flush timers. Tests swap in
+	// a hand-driven implementation to exercise flush timing without
+	// sleeping; production always uses the time.Timer wrapper.
+	newTimer func(d time.Duration) batchTimer
 }
 
 // New boots the shard pool, generates and loads every model's weights on
@@ -325,12 +340,13 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:    cfg,
-		mods:   make(map[string]*model, len(cfg.Models)),
-		pool:   make(chan *shard, cfg.Shards),
-		probeq: make(chan *shard, cfg.Shards),
-		quit:   make(chan struct{}),
-		reg:    metrics.New(1),
+		cfg:      cfg,
+		mods:     make(map[string]*model, len(cfg.Models)),
+		pool:     make(chan *shard, cfg.Shards),
+		probeq:   make(chan *shard, cfg.Shards),
+		quit:     make(chan struct{}),
+		reg:      metrics.New(1),
+		newTimer: newRealTimer,
 	}
 	s.admitted = s.reg.Counter("serve_admitted_total")
 	s.served = s.reg.Counter("serve_served_total")
@@ -398,7 +414,11 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
-		rt.ParallelKernels = true
+		eng, err := engine.New(cfg.Engine, cfg.Channels)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		rt.UseEngine(eng)
 		if cfg.Tracer != nil {
 			rt.Drv.Obs = cfg.Tracer
 			rt.Drv.ObsName = fmt.Sprintf("shard%d", i)
@@ -584,6 +604,11 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every batch worker has returned, so no kernel can be mid-run:
+		// the engine worker pools are idle and safe to tear down.
+		for _, sh := range s.shards {
+			sh.rt.CloseEngine()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())

@@ -37,6 +37,8 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON file")
+	check := flag.String("check", "", "baseline JSON file: compare stdin results against it instead of writing")
+	maxRatio := flag.Float64("max-ratio", 2.5, "with -check, fail when ns/op or B/op exceeds baseline by this factor")
 	flag.Parse()
 
 	var rep report
@@ -62,6 +64,26 @@ func main() {
 	}
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *check, err))
+		}
+		failures := checkBaseline(base, rep, *maxRatio)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d results within %.1fx of %s\n",
+			len(rep.Benchmarks), *maxRatio, *check)
+		return
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -120,6 +142,38 @@ func parseBench(line string) (result, bool) {
 		}
 	}
 	return r, true
+}
+
+// checkBaseline compares each current result against its baseline entry
+// (matched by name) and reports a failure when ns/op or B/op exceeds the
+// baseline by more than ratio. The factor is deliberately generous — CI
+// machines differ from the one that recorded BENCH_gemv.json, so this
+// catches order-of-magnitude regressions (a dropped fast path, an
+// allocation blow-up), not percent-level drift. Benchmarks absent from
+// the baseline pass; a baseline entry with no current result fails, so a
+// renamed or deleted benchmark can't silently drop out of the gate.
+func checkBaseline(base, cur report, ratio float64) []string {
+	var failures []string
+	current := make(map[string]result, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		current[r.Name] = r
+	}
+	for _, b := range base.Benchmarks {
+		r, ok := current[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*ratio {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.1fx",
+				b.Name, r.NsPerOp, b.NsPerOp, ratio))
+		}
+		if b.BytesPerOp > 0 && float64(r.BytesPerOp) > float64(b.BytesPerOp)*ratio {
+			failures = append(failures, fmt.Sprintf("%s: %d B/op exceeds baseline %d B/op by more than %.1fx",
+				b.Name, r.BytesPerOp, b.BytesPerOp, ratio))
+		}
+	}
+	return failures
 }
 
 func fatal(err error) {

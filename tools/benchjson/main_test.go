@@ -36,6 +36,34 @@ func TestParseBenchCustomUnits(t *testing.T) {
 	}
 }
 
+func TestCheckBaseline(t *testing.T) {
+	base := report{Benchmarks: []result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 500},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}}
+
+	// Within the factor on both axes, plus a benchmark the baseline
+	// doesn't know about — only the missing baseline entry fails.
+	cur := report{Benchmarks: []result{
+		{Name: "BenchmarkA", NsPerOp: 2400, BytesPerOp: 1200},
+		{Name: "BenchmarkNew", NsPerOp: 1},
+	}}
+	fails := checkBaseline(base, cur, 2.5)
+	if len(fails) != 1 {
+		t.Fatalf("got %d failures, want 1 (missing BenchmarkGone): %v", len(fails), fails)
+	}
+
+	// Time regression and allocation regression each fail independently.
+	cur = report{Benchmarks: []result{
+		{Name: "BenchmarkA", NsPerOp: 2600, BytesPerOp: 1300},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}}
+	fails = checkBaseline(base, cur, 2.5)
+	if len(fails) != 2 {
+		t.Fatalf("got %d failures, want 2 (ns/op and B/op): %v", len(fails), fails)
+	}
+}
+
 func TestParseBenchRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",                  // too few fields

@@ -1,0 +1,62 @@
+package pimsim
+
+// Regression pin for the traced-run allocation blow-up: attaching the
+// command timeline once cost ~9.9 MB per GEMV run against ~0.5 MB
+// untraced, because every run grew fresh event buffers. With the
+// timeline reused across runs (obs.Timeline.Reset keeps capacity) a
+// traced run must allocate within 2x of an untraced one.
+
+import (
+	goruntime "runtime"
+	"testing"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/hbm"
+	"pimsim/internal/obs"
+	"pimsim/internal/runtime"
+)
+
+func TestTracedRunAllocationOverhead(t *testing.T) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.Functional = false
+	const m, k = 1024, 4096
+
+	run := func(tl *obs.Timeline) {
+		dev := hbm.MustNewDevice(cfg)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SimChannels = 1
+		if tl != nil {
+			tl.Reset()
+			rt.AttachTimeline(tl)
+		}
+		if _, _, err := blas.PimGemv(rt, nil, m, k, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tl != nil && tl.Events() == 0 {
+			t.Fatal("timeline recorded nothing")
+		}
+	}
+
+	allocBytes := func(f func()) uint64 {
+		var before, after goruntime.MemStats
+		goruntime.GC()
+		goruntime.ReadMemStats(&before)
+		f()
+		goruntime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	tl := obs.FromHBM(cfg, 1, 0)
+	run(tl) // warm run grows the event buffers to steady-state capacity
+	run(nil)
+
+	untraced := allocBytes(func() { run(nil) })
+	traced := allocBytes(func() { run(tl) })
+	t.Logf("untraced %d B, traced %d B (%.2fx)", untraced, traced, float64(traced)/float64(untraced))
+	if traced > 2*untraced {
+		t.Errorf("traced run allocates %d B, more than 2x the untraced %d B", traced, untraced)
+	}
+}
