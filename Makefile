@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve serve-smoke trace-smoke chaos
+.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke trace-smoke chaos
 
 all: build vet test
 
@@ -35,9 +35,13 @@ bench-check:
 
 # race-goldens proves engine determinism under the race detector: serial
 # vs parallel per-pCH execution, GOMAXPROCS 1/2/N, with tracing and fault
-# injection armed, must be bit-for-bit identical (see DESIGN.md).
+# injection armed, must be bit-for-bit identical (see DESIGN.md). It also
+# runs the full-budget aggregate/brute-force oracle fuzz under -race: the
+# O(1) timing aggregates must agree with the all-bank scan on every
+# verdict across 10k fuzzed command streams.
 race-goldens:
 	$(GO) test -race -count=2 -run 'TestGolden' .
+	$(GO) test -race -run 'TestAggregateEarliestMatchesBruteForce' ./internal/hbm/
 
 # bench-serve runs the serving A/B (dynamic batching vs batch-size-1 at
 # equal shard count) through cmd/pimload and records throughput, latency
@@ -48,6 +52,14 @@ bench-serve:
 	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 > serve_bench.txt
 	$(GO) run ./tools/benchjson -out BENCH_serve.json < serve_bench.txt
 	@rm -f serve_bench.txt
+
+# bench-serve-check re-runs the serving A/B and fails if throughput
+# (req/s), a latency quantile (p50/p95/p99_us) or ns/op regressed past
+# 2.5x the checked-in BENCH_serve.json baseline. Rates gate downward,
+# latencies upward; counts and gain factors are not gated here (the gain
+# has its own hard -min-gain floor inside cmd/pimload).
+bench-serve-check:
+	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 | $(GO) run ./tools/benchjson -check BENCH_serve.json
 
 # serve-smoke boots the real pimserve binary on a random port and checks
 # the HTTP taxonomy, backpressure and graceful shutdown over TCP.

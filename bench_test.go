@@ -16,6 +16,7 @@ import (
 	"pimsim/internal/hbm"
 	"pimsim/internal/isa"
 	"pimsim/internal/macmodel"
+	"pimsim/internal/memctrl"
 	"pimsim/internal/models"
 	"pimsim/internal/obs"
 	"pimsim/internal/runtime"
@@ -325,6 +326,76 @@ func BenchmarkTimingOnlyGemv(b *testing.B) {
 		}
 	}
 	b.SetBytes(2 * 4096 * 8192)
+}
+
+// BenchmarkMixedStreamGemv measures the timing core on the workload the
+// lockstep broadcast fast path cannot collapse: interleaved SB demand
+// traffic (random FR-FCFS transactions through the host scheduler) and
+// AB-PIM GEMV kernel bursts on the same channel, the paper's mixed
+// host/PIM serving shape (the DS2/RNN-T/GNMT layer split). Each round is
+// a demand burst, a precharge-all (the host flushes before the mode
+// switch), then a GEMV chunk.
+//
+// mixedStreamBaselineNs is this benchmark's ns/op measured at commit
+// 5067723 (the tree immediately before the event-driven timing core:
+// per-command all-bank scans, per-trigger struct copies, O(window^2)
+// look-ahead). Reported as a metric so BENCH_gemv.json carries both the
+// pre-change baseline and the current number, and `benchjson -check`
+// can gate the speedup ratio.
+const mixedStreamBaselineNs = 8828858.0
+
+func BenchmarkMixedStreamGemv(b *testing.B) {
+	cfg := hbm.PIMHBMConfig(1200)
+	cfg.Functional = false
+	const (
+		rounds = 8
+		burst  = 256
+		M, K   = 1024, 2048
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := hbm.MustNewDevice(cfg)
+		rt, err := runtime.New([]*hbm.Device{dev})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.SimChannels = 1
+		sched := memctrl.NewScheduler(rt.Chans[0], cfg)
+		sched.AutoRelease = true
+		var state uint64
+		next := func() uint64 { // splitmix64: avalanched low bits
+			state += 0x9E3779B97F4A7C15
+			z := state
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			z *= 0x94D049BB133111EB
+			return z ^ z>>31
+		}
+		for r := 0; r < rounds; r++ {
+			for t := 0; t < burst; t++ {
+				v := next()
+				loc := memctrl.Loc{
+					BG:   int(v % uint64(cfg.BankGroups)),
+					Bank: int(v >> 2 % uint64(cfg.BanksPerGroup)),
+					Row:  uint32(v >> 4 % 512),
+					Col:  uint32(v >> 13 % uint64(cfg.ColumnsPerRow())),
+				}
+				sched.Enqueue(v>>23%10 < 3, loc, nil)
+			}
+			if _, err := sched.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			if err := sched.CloseAll(); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := blas.PimGemv(rt, nil, M, K, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(rounds * (2*M*K + burst*32))
+	b.ReportMetric(mixedStreamBaselineNs, "baseline_ns/op")
 }
 
 // BenchmarkTracedTimingOnlyGemv is the same kernel with the command

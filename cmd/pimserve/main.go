@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"pimsim/internal/engine"
 	"pimsim/internal/fault"
 	"pimsim/internal/obs"
 	"pimsim/internal/serve"
@@ -76,6 +77,11 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	// Fail a typo'd -engine here, before any shard is built.
+	if err := engine.Validate(*engineName); err != nil {
+		fatal(logger, err)
+	}
 
 	cfg := serve.Config{
 		Shards:         *shards,

@@ -47,6 +47,11 @@ func main() {
 	engineName := flag.String("engine", "parallel", "channel execution engine: serial (sequential oracle) or parallel (worker per pseudo channel)")
 	flag.Parse()
 
+	// Fail a typo'd -engine here, before any device is built.
+	if err := engine.Validate(*engineName); err != nil {
+		fatal(err)
+	}
+
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)

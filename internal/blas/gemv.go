@@ -299,26 +299,21 @@ func PimGemv(rt *runtime.Runtime, W fp16.Vector, M, K int, x fp16.Vector) (fp16.
 						}
 						openRow, rowOpen = row, true
 					}
-					for i := 0; i < plan.G; i++ {
-						_, col := plan.passRowCol(m, p, i)
-						var data []byte
-						if functional {
-							data = xdata[p*plan.G+i]
-						}
-						if err := rt.TriggerWR(ch, 0, col, data); err != nil {
-							return err
-						}
-						chTriggers++
+					_, col0 := plan.passRowCol(m, p, 0)
+					var data [][]byte
+					if functional {
+						data = xdata[p*plan.G : (p+1)*plan.G]
 					}
+					if err := rt.TriggerWRRun(ch, 0, col0, plan.G, data); err != nil {
+						return err
+					}
+					chTriggers += int64(plan.G)
 					rt.Fence(ch)
 					if !srw {
-						for i := 0; i < plan.G; i++ {
-							_, col := plan.passRowCol(m, p, i)
-							if err := rt.TriggerRD(ch, 0, col); err != nil {
-								return err
-							}
-							chTriggers++
+						if err := rt.TriggerRDRun(ch, 0, col0, plan.G); err != nil {
+							return err
 						}
+						chTriggers += int64(plan.G)
 						rt.Fence(ch)
 					}
 				}

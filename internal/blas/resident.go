@@ -187,22 +187,17 @@ func (g *ResidentGemv) RunBatch(rt *runtime.Runtime, xs []fp16.Vector) ([]fp16.V
 						}
 						openRow, rowOpen = row, true
 					}
-					for i := 0; i < plan.G; i++ {
-						_, col := plan.passRowCol(m, p, i)
-						if err := rt.TriggerWR(ch, 0, col, xdata[p*plan.G+i]); err != nil {
-							return err
-						}
-						chTriggers++
+					_, col0 := plan.passRowCol(m, p, 0)
+					if err := rt.TriggerWRRun(ch, 0, col0, plan.G, xdata[p*plan.G:(p+1)*plan.G]); err != nil {
+						return err
 					}
+					chTriggers += int64(plan.G)
 					rt.Fence(ch)
 					if !srw {
-						for i := 0; i < plan.G; i++ {
-							_, col := plan.passRowCol(m, p, i)
-							if err := rt.TriggerRD(ch, 0, col); err != nil {
-								return err
-							}
-							chTriggers++
+						if err := rt.TriggerRDRun(ch, 0, col0, plan.G); err != nil {
+							return err
 						}
+						chTriggers += int64(plan.G)
 						rt.Fence(ch)
 					}
 				}

@@ -15,6 +15,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -35,16 +36,31 @@ type Engine interface {
 	Close()
 }
 
+// Names lists the valid engine names, in the order flags document them.
+func Names() []string { return []string{"serial", "parallel"} }
+
+// Validate rejects anything that is not a known engine name. Commands
+// call it right after flag parsing so a typo'd -engine fails before any
+// device setup, not halfway through shard construction.
+func Validate(name string) error {
+	for _, n := range Names() {
+		if name == n {
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: unknown engine %q (valid engines: %s)", name, strings.Join(Names(), ", "))
+}
+
 // New builds an engine by name: "serial" or "parallel". workers sizes
 // the parallel pool (one worker per pseudo channel the system can run).
 func New(name string, workers int) (Engine, error) {
-	switch name {
-	case "", "serial":
-		return Serial{}, nil
-	case "parallel":
+	if err := Validate(name); err != nil {
+		return nil, err
+	}
+	if name == "parallel" {
 		return NewParallel(workers), nil
 	}
-	return nil, fmt.Errorf("engine: unknown engine %q (want serial or parallel)", name)
+	return Serial{}, nil
 }
 
 // Serial runs channels in index order on the caller's goroutine and

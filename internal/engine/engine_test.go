@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -108,26 +109,35 @@ func TestParallelSingleChannelRunsInline(t *testing.T) {
 }
 
 func TestNewByName(t *testing.T) {
-	for _, name := range []string{"", "serial"} {
+	for _, name := range Names() {
 		e, err := New(name, 4)
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
 		}
-		if e.Name() != "serial" {
+		if e.Name() != name {
 			t.Fatalf("New(%q).Name() = %q", name, e.Name())
 		}
 		e.Close()
 	}
-	e, err := New("parallel", 4)
-	if err != nil {
-		t.Fatalf("New(parallel): %v", err)
-	}
-	if e.Name() != "parallel" {
-		t.Fatalf("Name() = %q", e.Name())
-	}
-	e.Close()
-	if _, err := New("warp", 4); err == nil {
-		t.Fatal("New(warp) accepted an unknown engine")
+}
+
+// Unknown names — including the empty string, which used to silently
+// fall back to serial — must be rejected, and the error must name every
+// valid engine so the -engine flag's failure mode is self-explanatory.
+func TestNewRejectsUnknownEngines(t *testing.T) {
+	for _, name := range []string{"", "warp", "Serial", "parallel "} {
+		if err := Validate(name); err == nil {
+			t.Fatalf("Validate(%q) accepted an unknown engine", name)
+		} else {
+			for _, valid := range Names() {
+				if !strings.Contains(err.Error(), valid) {
+					t.Fatalf("Validate(%q) error %q does not list valid engine %q", name, err, valid)
+				}
+			}
+		}
+		if _, err := New(name, 4); err == nil {
+			t.Fatalf("New(%q) accepted an unknown engine", name)
+		}
 	}
 }
 

@@ -1,0 +1,164 @@
+package hbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test for the incremental timing aggregates: with the
+// cross-check armed, every legality verdict (cycle and error alike) the
+// O(1) aggregate path produces is re-derived by the brute-force all-bank
+// scan (earliestBrute), and any disagreement panics with the command and
+// both verdicts. The fuzzer drives thousands of short command streams
+// through every mode (SB, AB, AB-PIM via the mode-row handshake), under
+// refresh pressure, with deliberately illegal commands mixed in so error
+// verdicts are compared too. Runs under -race in the golden gate (make
+// race-goldens).
+
+// aggregateOracleStreams is the fuzz budget: total fuzzed streams across
+// the frequency variants. The race-goldens gate runs the full budget;
+// -short keeps the default test loop quick.
+const aggregateOracleStreams = 10000
+
+func TestAggregateEarliestMatchesBruteForce(t *testing.T) {
+	streams := aggregateOracleStreams
+	if testing.Short() {
+		streams = 1000
+	}
+	freqs := []int{1000, 1200}
+	var cov fuzzCoverage
+	for i := 0; i < streams; i++ {
+		seed := int64(i)
+		cfg := PIMHBMConfig(freqs[i%len(freqs)])
+		cfg.Functional = false
+		fuzzAggregateStream(t, cfg, seed, &cov)
+	}
+	// Generator self-check: the fuzz must keep reaching every mode and
+	// the refresh path, or the property quietly stops covering them.
+	if cov.modeSwitches == 0 || cov.triggers == 0 || cov.refreshes == 0 {
+		t.Fatalf("fuzz coverage collapsed: %d mode switches, %d AB-PIM triggers, %d refreshes",
+			cov.modeSwitches, cov.triggers, cov.refreshes)
+	}
+	t.Logf("coverage over %d streams: %d mode switches, %d AB-PIM triggers, %d refreshes",
+		streams, cov.modeSwitches, cov.triggers, cov.refreshes)
+}
+
+type fuzzCoverage struct {
+	modeSwitches int64
+	triggers     int64
+	refreshes    int64
+}
+
+func fuzzAggregateStream(t *testing.T, cfg Config, seed int64, cov *fuzzCoverage) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("stream seed %d: %v", seed, r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	dev := MustNewDevice(cfg)
+	p := dev.PCH(0)
+	exec := newFakeExec()
+	p.AttachPIM(exec)
+	p.SetTimingCrossCheck(true)
+	defer func() {
+		st := p.Stats()
+		cov.modeSwitches += st.ModeSwitches
+		cov.triggers += int64(len(exec.triggers))
+		cov.refreshes += st.REF
+	}()
+
+	modeRow := cfg.ModeRow()
+	cols := uint32(cfg.ColumnsPerRow())
+	var now int64
+
+	// try probes the verdict (cross-checked inside EarliestIssue) and
+	// issues when legal. Illegal commands are the point, not a failure:
+	// their error verdicts must match the oracle's too. Issue may still
+	// reject a timing-legal command on semantic grounds the legality scan
+	// does not see (register-space rules like PIM_OP_MODE outside AB);
+	// those leave no state behind and the stream simply moves on.
+	try := func(cmd Command) {
+		at, err := p.EarliestIssue(cmd, now)
+		if err != nil {
+			return
+		}
+		if _, err := p.Issue(cmd, at); err != nil {
+			return
+		}
+		now = at + 1 + int64(rng.Intn(4))
+	}
+
+	steps := 24 + rng.Intn(24)
+	for s := 0; s < steps; s++ {
+		bg := rng.Intn(cfg.BankGroups)
+		b := rng.Intn(cfg.BanksPerGroup)
+		row := uint32(rng.Intn(cfg.Rows)) // includes conf rows and the mode row
+		col := uint32(rng.Intn(int(cols)))
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			// Refresh pressure: close everything, then REF.
+			try(Command{Kind: CmdPREA})
+			try(Command{Kind: CmdREF})
+		case r < 0.09:
+			try(Command{Kind: CmdREF}) // often illegal (banks open)
+		case r < 0.17:
+			// Mode-row handshake toward AB (bank 0) or SB (bank 1),
+			// sometimes flipping PIM_OP_MODE while the mode row is open.
+			hsBank := ABMRBank
+			if rng.Intn(2) == 0 {
+				hsBank = SBMRBank
+			}
+			try(Command{Kind: CmdACT, BG: 0, Bank: hsBank, Row: modeRow})
+			if hsBank == ABMRBank && rng.Intn(2) == 0 {
+				data := make([]byte, cfg.AccessBytes)
+				data[0] = byte(rng.Intn(2))
+				try(Command{Kind: CmdWR, BG: 0, Bank: hsBank, Col: ColPIMOpMode, Data: data})
+			}
+			try(Command{Kind: CmdPRE, BG: 0, Bank: hsBank})
+		case r < 0.22:
+			// Fully random command: exercises the error verdicts.
+			kinds := []CmdKind{CmdACT, CmdPRE, CmdPREA, CmdRD, CmdWR, CmdREF}
+			try(Command{Kind: kinds[rng.Intn(len(kinds))], BG: bg, Bank: b, Row: row, Col: col})
+		case p.Mode() == ModeSB:
+			if openRow, open := p.OpenRow(bg, b); open {
+				switch rng.Intn(4) {
+				case 0:
+					try(Command{Kind: CmdPRE, BG: bg, Bank: b})
+				case 1:
+					try(Command{Kind: CmdWR, BG: bg, Bank: b, Col: col})
+				default:
+					_ = openRow
+					try(Command{Kind: CmdRD, BG: bg, Bank: b, Col: col})
+				}
+			} else {
+				try(Command{Kind: CmdACT, BG: bg, Bank: b, Row: row})
+			}
+		default:
+			// AB / AB-PIM: broadcast traffic, including the occasional
+			// illegal broadcast ACT to the mode row and columns with banks
+			// idle.
+			switch rng.Intn(5) {
+			case 0:
+				try(Command{Kind: CmdACT, Row: row})
+			case 1:
+				try(Command{Kind: CmdPRE})
+			case 2:
+				try(Command{Kind: CmdWR, Bank: rng.Intn(2), Col: col})
+			case 3:
+				try(Command{Kind: CmdPREA})
+			default:
+				try(Command{Kind: CmdRD, Bank: rng.Intn(2), Col: col})
+			}
+		}
+		// Probe-only check: a random command's verdict is cross-checked
+		// even when it is never issued.
+		kinds := []CmdKind{CmdACT, CmdPRE, CmdPREA, CmdRD, CmdWR, CmdREF}
+		probe := Command{
+			Kind: kinds[rng.Intn(len(kinds))],
+			BG:   rng.Intn(cfg.BankGroups), Bank: rng.Intn(cfg.BanksPerGroup),
+			Row: uint32(rng.Intn(cfg.Rows)), Col: uint32(rng.Intn(int(cols))),
+		}
+		_, _ = p.EarliestIssue(probe, now)
+	}
+}

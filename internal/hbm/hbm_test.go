@@ -389,8 +389,8 @@ func (f *fakeExec) RegisterRead(unit int, space RegSpace, col uint32, buf []byte
 	return nil
 }
 
-func (f *fakeExec) Trigger(ctx TriggerContext) (TriggerInfo, error) {
-	f.triggers = append(f.triggers, ctx)
+func (f *fakeExec) Trigger(ctx *TriggerContext) (TriggerInfo, error) {
+	f.triggers = append(f.triggers, *ctx)
 	return TriggerInfo{Instructions: 8, Arithmetic: 8}, nil
 }
 

@@ -137,8 +137,9 @@ type PIMExecutor interface {
 	// RegisterRead loads a 32-byte block from unit's register space.
 	RegisterRead(unit int, space RegSpace, col uint32, buf []byte) error
 	// Trigger executes the next PIM instruction on every unit in lock
-	// step, in response to one AB-PIM column command.
-	Trigger(ctx TriggerContext) (TriggerInfo, error)
+	// step, in response to one AB-PIM column command. The context is
+	// only valid for the duration of the call (the device reuses it).
+	Trigger(ctx *TriggerContext) (TriggerInfo, error)
 	// ResetPPC rewinds all units' program counters (AB-PIM entry).
 	ResetPPC()
 }
@@ -165,6 +166,42 @@ type PseudoChannel struct {
 	rrdAllowedL []int64 // tRRD_L per bank group
 	busyUntil   int64   // refresh blackout
 
+	// Incrementally maintained timing aggregates (the event-driven core).
+	// Broadcast legality used to scan all banks on every broadcast command;
+	// these running maxima make it O(1). Every bank timer is monotonically
+	// nondecreasing (all raises go through maxi64), so the all-bank maxima
+	// only need updating at the handful of raise sites. earliestBrute keeps
+	// the scan as a debug oracle; SetTimingCrossCheck makes every legality
+	// verdict compare the two.
+	activeBanks int   // banks currently in bankActive state
+	aggACT      int64 // max over all banks of actAllowed
+	aggRD       int64 // max over all banks of rdAllowed
+	aggWR       int64 // max over all banks of wrAllowed
+	// aggPre is the max effective preAllowed over *active* banks. Unlike
+	// the all-bank maxima it shrinks when a bank leaves the active set, so
+	// a single-bank PRE that retires a potential max holder marks it dirty
+	// and the next broadcast-PRE/PREA legality check rescans (rare).
+	aggPre   int64
+	preDirty bool
+	// preFloor is the precharge fence a broadcast column command imposes on
+	// every bank, stored once instead of written into every bank. Broadcast
+	// columns require all banks active; a bank that later precharges (at a
+	// cycle >= preFloor, by PRE legality) and re-activates lands at
+	// preAllowed >= preFloor+tRP+tRAS, so folding the floor into every
+	// preAllowed read is exact without per-bank writes.
+	preFloor int64
+	// Bank-group aggregates and floors for the tCCD_L / tWTR_L arrays:
+	// aggColL/aggRdL track the maxima raised by single-bank columns, while
+	// broadcast raises live once in colAllowedS (same value, so it already
+	// covers every group) and rdFloorL (folded into rdAllowedL reads).
+	aggColL  int64
+	aggRdL   int64
+	rdFloorL int64
+
+	// checkTiming arms the aggregate-vs-brute-force oracle cross-check on
+	// every legality verdict (randomized property tests; panics on drift).
+	checkTiming bool
+
 	stats   Stats
 	bankOps []BankOps // per-bank command observations (utilization balance)
 	// bcastOps counts broadcast (AB/AB-PIM) commands once instead of
@@ -187,6 +224,16 @@ type PseudoChannel struct {
 	regBuf   []byte
 	allBanks []int
 	oneBank  [1]int
+
+	// trig is the reusable per-trigger context handed to the PIM executor
+	// (by pointer, so the per-command hot path copies no structs). Its
+	// constant fields (Access, Variant, Functional) are filled once.
+	trig TriggerContext
+
+	// Address-range limits precomputed off Config so the per-command
+	// addrCheck performs no division (RowBytes/AccessBytes).
+	numRows uint32
+	numCols uint32
 }
 
 // BankOps counts the commands one bank observed: its demand profile for
@@ -215,6 +262,11 @@ func newPCH(cfg *Config, id int) *PseudoChannel {
 	for i := range p.allBanks {
 		p.allBanks[i] = i
 	}
+	p.trig.Access = (*pchBankAccess)(p)
+	p.trig.Variant = cfg.Variant
+	p.trig.Functional = cfg.Functional
+	p.numRows = uint32(cfg.Rows)
+	p.numCols = uint32(cfg.RowBytes / cfg.AccessBytes)
 	// Seed the four-activate window in the distant past so the first four
 	// ACTs are unconstrained.
 	for i := range p.actWindow.times {
@@ -290,6 +342,30 @@ func (p *PseudoChannel) switchMode(m Mode, at int64) {
 // flat returns the flat bank index for a command address.
 func (p *PseudoChannel) flat(bg, b int) int { return bg*p.cfg.BanksPerGroup + b }
 
+// addrCheck validates cmd's addresses against the precomputed geometry
+// limits; Config.addrCheck recomputes a division per column command, so
+// the per-command path uses the cached limits and only delegates to the
+// Config method to format the (identical) error.
+func (p *PseudoChannel) addrCheck(cmd *Command) error {
+	switch cmd.Kind {
+	case CmdACT:
+		if cmd.Row >= p.numRows {
+			return p.cfg.addrCheck(cmd)
+		}
+	case CmdRD, CmdWR:
+		if cmd.Col >= p.numCols {
+			return p.cfg.addrCheck(cmd)
+		}
+	}
+	switch cmd.Kind {
+	case CmdACT, CmdPRE, CmdRD, CmdWR:
+		if uint(cmd.BG) >= uint(p.cfg.BankGroups) || uint(cmd.Bank) >= uint(p.cfg.BanksPerGroup) {
+			return p.cfg.addrCheck(cmd)
+		}
+	}
+	return nil
+}
+
 // unitFor maps a flat bank index to its PIM unit.
 func (p *PseudoChannel) unitFor(bankIdx int) int {
 	banksPerUnit := p.cfg.Banks() / p.cfg.PIMUnits
@@ -301,6 +377,9 @@ func (p *PseudoChannel) unitFor(bankIdx int) int {
 // are illegal regardless of timing (bad address, closed row, wrong mode).
 func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 	at, _, err := p.earliest(&cmd, now)
+	if p.checkTiming {
+		p.crossCheck(cmd, now, at, err)
+	}
 	return at, err
 }
 
@@ -308,7 +387,7 @@ func (p *PseudoChannel) EarliestIssue(cmd Command, now int64) (int64, error) {
 // whether the command broadcasts, so issue paths that just computed the
 // legality verdict can reuse it without re-deriving the handshake check.
 func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
-	if err := p.cfg.addrCheck(cmd); err != nil {
+	if err := p.addrCheck(cmd); err != nil {
 		return 0, false, err
 	}
 	t := maxi64(now, p.busyUntil)
@@ -320,6 +399,123 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 	case CmdACT:
 		if broadcast {
 			if cmd.Row >= uint32(p.cfg.Rows)-1 { // ModeRow() without the Config copy
+				return 0, false, fmt.Errorf("hbm: broadcast ACT to the mode row is illegal")
+			}
+			return maxi64(t, p.aggACT), broadcast, nil
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state == bankActive {
+			return 0, false, fmt.Errorf("hbm: ACT to open bank bg%d b%d", cmd.BG, cmd.Bank)
+		}
+		t = maxi64(t, b.earliestACT())
+		t = maxi64(t, p.rrdAllowed)
+		t = maxi64(t, p.rrdAllowedL[cmd.BG])
+		t = maxi64(t, p.actWindow.earliest(int64(tm.FAW)))
+		return t, broadcast, nil
+
+	case CmdPRE:
+		if broadcast {
+			return maxi64(t, p.aggPreNow()), broadcast, nil
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state != bankActive {
+			return 0, false, fmt.Errorf("hbm: PRE to idle bank bg%d b%d", cmd.BG, cmd.Bank)
+		}
+		return maxi64(t, maxi64(b.preAllowed, p.preFloor)), broadcast, nil
+
+	case CmdPREA:
+		return maxi64(t, p.aggPreNow()), broadcast, nil
+
+	case CmdRD, CmdWR:
+		t = maxi64(t, p.colAllowedS)
+		if cmd.Kind == CmdWR {
+			t = maxi64(t, p.wrAllowed)
+		} else {
+			t = maxi64(t, p.rdAllowedS)
+		}
+		if broadcast {
+			if p.activeBanks != len(p.banks) {
+				// Error path only: rescan to name the first idle bank.
+				for i := range p.banks {
+					if p.banks[i].state != bankActive {
+						return 0, false, fmt.Errorf("hbm: broadcast %s with bank %d idle", cmd.Kind, i)
+					}
+				}
+			}
+			t = maxi64(t, p.aggColL)
+			if cmd.Kind == CmdRD {
+				t = maxi64(t, maxi64(p.aggRdL, p.rdFloorL))
+				t = maxi64(t, p.aggRD)
+			} else {
+				t = maxi64(t, p.aggWR)
+			}
+			return t, broadcast, nil
+		}
+		t = maxi64(t, p.colAllowedL[cmd.BG])
+		if cmd.Kind == CmdRD {
+			t = maxi64(t, maxi64(p.rdAllowedL[cmd.BG], p.rdFloorL))
+		}
+		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
+		if b.state != bankActive {
+			return 0, false, fmt.Errorf("hbm: %s to idle bank bg%d b%d", cmd.Kind, cmd.BG, cmd.Bank)
+		}
+		return maxi64(t, b.earliestCol(cmd.Kind)), broadcast, nil
+
+	case CmdREF:
+		if p.activeBanks > 0 {
+			// Error path only: rescan to name the first active bank.
+			for i := range p.banks {
+				if p.banks[i].state == bankActive {
+					return 0, false, fmt.Errorf("hbm: REF with bank %d active", i)
+				}
+			}
+		}
+		return maxi64(t, p.aggACT), broadcast, nil
+	}
+	return 0, false, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+}
+
+// aggPreNow returns the maximum effective preAllowed over active banks,
+// rescanning first when a single-bank PRE invalidated the running maximum.
+func (p *PseudoChannel) aggPreNow() int64 {
+	if p.preDirty {
+		p.rescanAggPre()
+	}
+	return p.aggPre
+}
+
+// rescanAggPre recomputes aggPre exactly from per-bank state.
+func (p *PseudoChannel) rescanAggPre() {
+	var agg int64
+	for i := range p.banks {
+		if p.banks[i].state == bankActive {
+			agg = maxi64(agg, maxi64(p.banks[i].preAllowed, p.preFloor))
+		}
+	}
+	p.aggPre = agg
+	p.preDirty = false
+}
+
+// earliestBrute recomputes earliest's verdict by scanning every bank and
+// bank group — the pre-aggregate implementation kept as a debug oracle.
+// Per-bank preAllowed reads fold in preFloor and per-group rdAllowedL
+// reads fold in rdFloorL (broadcast raises live in the floors now); the
+// tCCD_L raise of a broadcast column lives in colAllowedS, which the
+// column cases already take. This is the ground truth the O(1) aggregate
+// path must match, cycle for cycle and error for error.
+func (p *PseudoChannel) earliestBrute(cmd *Command, now int64) (int64, bool, error) {
+	if err := p.cfg.addrCheck(cmd); err != nil {
+		return 0, false, err
+	}
+	t := maxi64(now, p.busyUntil)
+	tm := &p.cfg.Timing
+
+	broadcast := p.mode != ModeSB && !p.isModeHandshake(cmd)
+
+	switch cmd.Kind {
+	case CmdACT:
+		if broadcast {
+			if cmd.Row >= uint32(p.cfg.Rows)-1 {
 				return 0, false, fmt.Errorf("hbm: broadcast ACT to the mode row is illegal")
 			}
 			for i := range p.banks {
@@ -341,7 +537,7 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 		if broadcast {
 			for i := range p.banks {
 				if p.banks[i].state == bankActive {
-					t = maxi64(t, p.banks[i].preAllowed)
+					t = maxi64(t, maxi64(p.banks[i].preAllowed, p.preFloor))
 				}
 			}
 			return t, broadcast, nil
@@ -350,12 +546,12 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 		if b.state != bankActive {
 			return 0, false, fmt.Errorf("hbm: PRE to idle bank bg%d b%d", cmd.BG, cmd.Bank)
 		}
-		return maxi64(t, b.preAllowed), broadcast, nil
+		return maxi64(t, maxi64(b.preAllowed, p.preFloor)), broadcast, nil
 
 	case CmdPREA:
 		for i := range p.banks {
 			if p.banks[i].state == bankActive {
-				t = maxi64(t, p.banks[i].preAllowed)
+				t = maxi64(t, maxi64(p.banks[i].preAllowed, p.preFloor))
 			}
 		}
 		return t, broadcast, nil
@@ -371,7 +567,7 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 			for bg := range p.colAllowedL {
 				t = maxi64(t, p.colAllowedL[bg])
 				if cmd.Kind == CmdRD {
-					t = maxi64(t, p.rdAllowedL[bg])
+					t = maxi64(t, maxi64(p.rdAllowedL[bg], p.rdFloorL))
 				}
 			}
 			for i := range p.banks {
@@ -384,7 +580,7 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 		}
 		t = maxi64(t, p.colAllowedL[cmd.BG])
 		if cmd.Kind == CmdRD {
-			t = maxi64(t, p.rdAllowedL[cmd.BG])
+			t = maxi64(t, maxi64(p.rdAllowedL[cmd.BG], p.rdFloorL))
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		if b.state != bankActive {
@@ -402,6 +598,69 @@ func (p *PseudoChannel) earliest(cmd *Command, now int64) (int64, bool, error) {
 		return t, broadcast, nil
 	}
 	return 0, false, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+}
+
+// NextTimerExpiry returns the earliest cycle strictly after now at which
+// any timing constraint of this pseudo channel expires — the soonest
+// moment a command blocked purely on timing could become legal. It
+// returns now itself when every constraint has already expired (the
+// channel is quiescent and only new commands can change its state).
+// Controllers use it to jump their clock across dead cycles; it scans the
+// bank array (it is a sleep-time query, not an issue-time one).
+func (p *PseudoChannel) NextTimerExpiry(now int64) int64 {
+	const horizon = int64(1) << 62
+	next := horizon
+	consider := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	consider(p.busyUntil)
+	consider(p.colAllowedS)
+	consider(p.wrAllowed)
+	consider(p.rdAllowedS)
+	consider(p.rrdAllowed)
+	consider(p.rdFloorL)
+	consider(p.actWindow.earliest(int64(p.cfg.Timing.FAW)))
+	for bg := range p.colAllowedL {
+		consider(p.colAllowedL[bg])
+		consider(p.rdAllowedL[bg])
+		consider(p.rrdAllowedL[bg])
+	}
+	for i := range p.banks {
+		b := &p.banks[i]
+		consider(b.actAllowed)
+		consider(b.rdAllowed)
+		consider(b.wrAllowed)
+		if b.state == bankActive {
+			consider(maxi64(b.preAllowed, p.preFloor))
+		}
+	}
+	if next == horizon {
+		return now
+	}
+	return next
+}
+
+// SetTimingCrossCheck arms (or disarms) the debug oracle: every legality
+// verdict computed from the incremental aggregates is re-derived by the
+// brute-force bank scan and any disagreement panics. Test-only — it makes
+// every command O(banks) again.
+func (p *PseudoChannel) SetTimingCrossCheck(on bool) { p.checkTiming = on }
+
+// crossCheck compares one aggregate verdict against the brute-force
+// oracle. It must run before apply mutates state. It takes the command by
+// value so the hot entry points' stack copies do not escape through the
+// (cold, test-only) panic formatting.
+func (p *PseudoChannel) crossCheck(cmd Command, now, at int64, err error) {
+	bat, _, berr := p.earliestBrute(&cmd, now)
+	switch {
+	case (err == nil) != (berr == nil),
+		err == nil && at != bat,
+		err != nil && berr != nil && err.Error() != berr.Error():
+		panic(fmt.Sprintf("hbm: timing aggregate mismatch for %s at cycle %d: aggregates say (%d, %v), brute force says (%d, %v)",
+			cmd, now, at, err, bat, berr))
+	}
 }
 
 // isModeHandshake reports whether cmd is part of the single-bank
@@ -430,30 +689,43 @@ func (p *PseudoChannel) isModeHandshake(cmd *Command) bool {
 // controller bug cannot silently violate timing.
 func (p *PseudoChannel) Issue(cmd Command, at int64) (IssueResult, error) {
 	earliest, broadcast, err := p.earliest(&cmd, at)
+	if p.checkTiming {
+		p.crossCheck(cmd, at, earliest, err)
+	}
 	if err != nil {
 		return IssueResult{}, err
 	}
 	if at < earliest {
 		return IssueResult{}, fmt.Errorf("hbm: %s issued at %d before earliest legal cycle %d", cmd, at, earliest)
 	}
-	return p.apply(&cmd, at, broadcast)
-}
-
-// IssueEarliest issues cmd at the earliest legal cycle at or after now —
-// EarliestIssue's computation and Issue's execution in a single
-// validation pass. Controllers with no delay hook between scheduling and
-// issue use it; the chosen cycle comes back in IssueResult.Cycle.
-func (p *PseudoChannel) IssueEarliest(cmd Command, now int64) (IssueResult, error) {
-	at, broadcast, err := p.earliest(&cmd, now)
-	if err != nil {
-		return IssueResult{}, err
-	}
-	return p.apply(&cmd, at, broadcast)
-}
-
-// apply executes an already-validated command at cycle at.
-func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool) (IssueResult, error) {
 	res := IssueResult{Cycle: at}
+	err = p.apply(&cmd, at, broadcast, &res)
+	return res, err
+}
+
+// IssueEarliest issues *cmd at the earliest legal cycle at or after now —
+// EarliestIssue's computation and Issue's execution in a single
+// validation pass, filling *res in place. Controllers with no delay hook
+// between scheduling and issue use it; the chosen cycle comes back in
+// res.Cycle. The pointer forms keep the per-command fast path free of
+// Command/IssueResult struct copies through the controller layers.
+func (p *PseudoChannel) IssueEarliest(cmd *Command, now int64, res *IssueResult) error {
+	at, broadcast, err := p.earliest(cmd, now)
+	if p.checkTiming {
+		p.crossCheck(*cmd, now, at, err)
+	}
+	if err != nil {
+		*res = IssueResult{}
+		return err
+	}
+	*res = IssueResult{Cycle: at}
+	return p.apply(cmd, at, broadcast, res)
+}
+
+// apply executes an already-validated command at cycle at, filling res
+// (pre-set to {Cycle: at}) in place — an out parameter, so the hot
+// command path returns no multi-word structs through its call chain.
+func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool, res *IssueResult) error {
 	tm := &p.cfg.Timing
 
 	switch cmd.Kind {
@@ -462,12 +734,27 @@ func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool) (IssueResu
 			for i := range p.banks {
 				p.banks[i].activate(cmd.Row, at, tm)
 			}
+			// Every bank took the same raises; fold them into the running
+			// maxima once, and recompute aggPre exactly (previously idle
+			// banks rejoin the active set; broadcast ACT is rare).
+			p.activeBanks = len(p.banks)
+			p.aggACT = maxi64(p.aggACT, at+int64(tm.RC))
+			p.aggRD = maxi64(p.aggRD, at+int64(tm.RCD))
+			p.aggWR = maxi64(p.aggWR, at+int64(tm.RCD))
+			p.rescanAggPre()
 			p.bcastOps.ACT++
 			p.stats.ABACT++
-			return res, nil
+			return nil
 		}
 		b := &p.banks[p.flat(cmd.BG, cmd.Bank)]
 		b.activate(cmd.Row, at, tm)
+		p.activeBanks++ // earliest rejected ACT to an open bank
+		p.aggACT = maxi64(p.aggACT, b.actAllowed)
+		p.aggRD = maxi64(p.aggRD, b.rdAllowed)
+		p.aggWR = maxi64(p.aggWR, b.wrAllowed)
+		// A re-activated bank's preAllowed (>= precharge+tRP+tRAS) always
+		// clears preFloor (<= its precharge cycle), so no floor fold here.
+		p.aggPre = maxi64(p.aggPre, b.preAllowed)
 		if !p.isModeHandshake(cmd) {
 			// Handshake ACTs address the mode row, not the array; they
 			// would skew per-bank utilization counts.
@@ -477,35 +764,37 @@ func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool) (IssueResu
 		p.rrdAllowed = maxi64(p.rrdAllowed, at+int64(tm.RRDS))
 		p.rrdAllowedL[cmd.BG] = maxi64(p.rrdAllowedL[cmd.BG], at+int64(tm.RRDL))
 		p.stats.ACT++
-		return res, nil
+		return nil
 
 	case CmdPRE:
 		if broadcast {
-			for i := range p.banks {
-				if p.banks[i].state == bankActive {
-					p.banks[i].precharge(at, tm)
-				}
-			}
+			p.prechargeAll(at, tm, false)
 			p.stats.ABPRE++
-			return res, nil
+			return nil
 		}
 		idx := p.flat(cmd.BG, cmd.Bank)
 		wasHandshake := p.isModeHandshake(cmd)
-		p.banks[idx].precharge(at, tm)
+		b := &p.banks[idx]
+		eff := maxi64(b.preAllowed, p.preFloor)
+		b.precharge(at, tm)
+		p.aggACT = maxi64(p.aggACT, b.actAllowed)
+		p.activeBanks--
+		if p.activeBanks == 0 {
+			p.aggPre, p.preDirty = 0, false
+		} else if eff >= p.aggPre {
+			// This bank may have held the active-set maximum; recompute
+			// lazily at the next broadcast-PRE/PREA legality check.
+			p.preDirty = true
+		}
 		p.stats.PRE++
 		if wasHandshake {
 			p.completeHandshake(cmd.Bank, at)
 		}
-		return res, nil
+		return nil
 
 	case CmdPREA:
-		for i := range p.banks {
-			if p.banks[i].state == bankActive {
-				p.banks[i].precharge(at, tm)
-				p.stats.PRE++
-			}
-		}
-		return res, nil
+		p.prechargeAll(at, tm, true)
+		return nil
 
 	case CmdRD, CmdWR:
 		p.updateColumnTiming(cmd, at, broadcast)
@@ -519,11 +808,36 @@ func (p *PseudoChannel) apply(cmd *Command, at int64, broadcast bool) (IssueResu
 		for i := range p.banks {
 			p.banks[i].blockUntil(until)
 		}
+		// REF legality required every bank idle, so aggPre (active banks
+		// only) is untouched; the all-bank maxima take the blockUntil raise.
+		p.aggACT = maxi64(p.aggACT, until)
+		p.aggRD = maxi64(p.aggRD, until)
+		p.aggWR = maxi64(p.aggWR, until)
 		p.busyUntil = maxi64(p.busyUntil, until)
 		p.stats.REF++
-		return res, nil
+		return nil
 	}
-	return IssueResult{}, fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+	return fmt.Errorf("hbm: unknown command kind %d", cmd.Kind)
+}
+
+// prechargeAll closes every active bank (broadcast PRE and PREA) and
+// resets the active-set aggregates. countEach selects PREA's per-bank
+// stats.PRE accounting over broadcast PRE's single ABPRE (counted by the
+// caller).
+func (p *PseudoChannel) prechargeAll(at int64, tm *Timing, countEach bool) {
+	if p.activeBanks > 0 {
+		for i := range p.banks {
+			if p.banks[i].state == bankActive {
+				p.banks[i].precharge(at, tm)
+				if countEach {
+					p.stats.PRE++
+				}
+			}
+		}
+		p.aggACT = maxi64(p.aggACT, at+int64(tm.RP))
+		p.activeBanks = 0
+	}
+	p.aggPre, p.preDirty = 0, false
 }
 
 // updateColumnTiming applies bus occupancy and turnaround bookkeeping for
@@ -532,14 +846,15 @@ func (p *PseudoChannel) updateColumnTiming(cmd *Command, at int64, broadcast boo
 	tm := &p.cfg.Timing
 	p.colAllowedS = maxi64(p.colAllowedS, at+int64(tm.CCDS))
 	if broadcast {
-		// All bank groups are occupied; the next column command of any
-		// kind waits tCCD_L.
-		for bg := range p.colAllowedL {
-			p.colAllowedL[bg] = maxi64(p.colAllowedL[bg], at+int64(tm.CCDL))
-		}
+		// All bank groups are occupied; the next column command of any kind
+		// waits tCCD_L. The raise is identical for every group, so it is
+		// stored once in colAllowedS (which every column case takes)
+		// instead of written into each colAllowedL slot.
 		p.colAllowedS = maxi64(p.colAllowedS, at+int64(tm.CCDL))
 	} else {
-		p.colAllowedL[cmd.BG] = maxi64(p.colAllowedL[cmd.BG], at+int64(tm.CCDL))
+		v := at + int64(tm.CCDL)
+		p.colAllowedL[cmd.BG] = maxi64(p.colAllowedL[cmd.BG], v)
+		p.aggColL = maxi64(p.aggColL, v)
 	}
 	if cmd.Kind == CmdRD {
 		p.wrAllowed = maxi64(p.wrAllowed, at+int64(tm.RTW))
@@ -547,11 +862,12 @@ func (p *PseudoChannel) updateColumnTiming(cmd *Command, at int64, broadcast boo
 		dataEnd := at + int64(tm.WL+tm.BL/2)
 		p.rdAllowedS = maxi64(p.rdAllowedS, dataEnd+int64(tm.WTRS))
 		if broadcast {
-			for bg := range p.rdAllowedL {
-				p.rdAllowedL[bg] = maxi64(p.rdAllowedL[bg], dataEnd+int64(tm.WTRL))
-			}
+			// Same-group turnaround for every group: one floor write.
+			p.rdFloorL = maxi64(p.rdFloorL, dataEnd+int64(tm.WTRL))
 		} else {
-			p.rdAllowedL[cmd.BG] = maxi64(p.rdAllowedL[cmd.BG], dataEnd+int64(tm.WTRL))
+			v := dataEnd + int64(tm.WTRL)
+			p.rdAllowedL[cmd.BG] = maxi64(p.rdAllowedL[cmd.BG], v)
+			p.aggRdL = maxi64(p.aggRdL, v)
 		}
 	}
 }
@@ -559,10 +875,11 @@ func (p *PseudoChannel) updateColumnTiming(cmd *Command, at int64, broadcast boo
 // issueSBColumn performs a single-bank column access: either a normal data
 // access through the I/O PHY or a PIM register access when the open row is
 // in the configuration space.
-func (p *PseudoChannel) issueSBColumn(cmd *Command, res IssueResult) (IssueResult, error) {
+func (p *PseudoChannel) issueSBColumn(cmd *Command, res *IssueResult) error {
 	idx := p.flat(cmd.BG, cmd.Bank)
 	b := &p.banks[idx]
 	b.column(cmd.Kind, res.Cycle, &p.cfg.Timing)
+	p.aggPre = maxi64(p.aggPre, b.preAllowed) // bank is active (legality)
 	p.stats.OffChipBytes += int64(p.cfg.AccessBytes)
 	if cmd.Kind == CmdRD {
 		p.stats.RD++
@@ -582,27 +899,28 @@ func (p *PseudoChannel) issueSBColumn(cmd *Command, res IssueResult) (IssueResul
 		p.stats.BankReads++
 		if p.cfg.Functional {
 			if err := p.bankReadData(b, idx, cmd.Col, p.colBuf); err != nil {
-				return res, err
+				return err
 			}
 			res.Data = p.colBuf
 		}
-		return res, nil
+		return nil
 	}
 	p.stats.BankWrites++
 	if p.cfg.Functional {
 		if err := p.bankWriteData(b, cmd.Col, cmd.Data); err != nil {
-			return res, err
+			return err
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // issueBroadcastColumn performs an AB or AB-PIM column access.
-func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (IssueResult, error) {
+func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res *IssueResult) error {
 	openRow := p.banks[0].openRow
-	// Every bank takes the same column timing update; hoist the computed
-	// precharge fence out of the 16-bank loop (bank.column per bank was
-	// the hottest block of the timing-only profile).
+	// Every bank takes the same precharge fence; it is stored once in the
+	// channel-level preFloor (folded into every preAllowed read) instead
+	// of written into all 16 banks — the hottest block of the timing-only
+	// profile before the aggregate refactor.
 	tm := &p.cfg.Timing
 	var pre int64
 	if cmd.Kind == CmdRD {
@@ -614,10 +932,11 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (Iss
 		p.bcastOps.WR++
 		p.stats.ABWR++
 	}
-	for i := range p.banks {
-		if b := &p.banks[i]; pre > b.preAllowed {
-			b.preAllowed = pre
-		}
+	if pre > p.preFloor {
+		p.preFloor = pre
+	}
+	if pre > p.aggPre { // all banks active: the fence joins the active max
+		p.aggPre = pre
 	}
 
 	// Register space: broadcast to every PIM unit.
@@ -627,21 +946,19 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (Iss
 
 	if p.mode == ModeABPIM {
 		if p.exec == nil {
-			return res, fmt.Errorf("hbm: AB-PIM column with no PIM executor attached")
+			return fmt.Errorf("hbm: AB-PIM column with no PIM executor attached")
 		}
-		info, err := p.exec.Trigger(TriggerContext{
-			Kind:       cmd.Kind,
-			BankSel:    cmd.Bank & 1,
-			Row:        openRow,
-			Col:        cmd.Col,
-			WrData:     cmd.Data,
-			Access:     (*pchBankAccess)(p),
-			Variant:    p.cfg.Variant,
-			Cycle:      res.Cycle,
-			Functional: p.cfg.Functional,
-		})
+		// The reusable context's constant fields (Access, Variant,
+		// Functional) were filled at construction.
+		p.trig.Kind = cmd.Kind
+		p.trig.BankSel = cmd.Bank & 1
+		p.trig.Row = openRow
+		p.trig.Col = cmd.Col
+		p.trig.WrData = cmd.Data
+		p.trig.Cycle = res.Cycle
+		info, err := p.exec.Trigger(&p.trig)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if cmd.Kind == CmdWR {
 			// A WR trigger still carries a 32-byte payload across the I/O
@@ -652,7 +969,7 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (Iss
 		p.stats.PIMInstr += int64(info.Instructions)
 		p.stats.PIMArith += int64(info.Arithmetic)
 		p.stats.PIMMove += int64(info.DataMoves)
-		return res, nil
+		return nil
 	}
 
 	// Plain AB data access: a write broadcasts the payload to all banks
@@ -664,37 +981,37 @@ func (p *PseudoChannel) issueBroadcastColumn(cmd *Command, res IssueResult) (Iss
 		if p.cfg.Functional {
 			for i := range p.banks {
 				if err := p.bankWriteData(&p.banks[i], cmd.Col, cmd.Data); err != nil {
-					return res, err
+					return err
 				}
 			}
 		}
-		return res, nil
+		return nil
 	}
 	p.stats.BankReads += int64(len(p.banks))
 	if p.cfg.Functional {
 		if err := p.bankReadData(&p.banks[0], 0, cmd.Col, p.colBuf); err != nil {
-			return res, err
+			return err
 		}
 		res.Data = p.colBuf
 	}
-	return res, nil
+	return nil
 }
 
 // registerAccess routes a column command on a configuration row.
-func (p *PseudoChannel) registerAccess(cmd *Command, res IssueResult, space RegSpace, bankIdxs []int) (IssueResult, error) {
+func (p *PseudoChannel) registerAccess(cmd *Command, res *IssueResult, space RegSpace, bankIdxs []int) error {
 	if space == RegMode {
 		if cmd.Kind == CmdWR && cmd.Col == ColPIMOpMode {
-			return res, p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1, res.Cycle)
+			return p.setPIMOpMode(len(cmd.Data) > 0 && cmd.Data[0]&1 == 1, res.Cycle)
 		}
 		// Other mode-row accesses read back zero / are ignored.
 		if cmd.Kind == CmdRD && p.cfg.Functional {
 			clear(p.colBuf)
 			res.Data = p.colBuf
 		}
-		return res, nil
+		return nil
 	}
 	if p.cfg.PIMUnits == 0 || p.exec == nil {
-		return res, fmt.Errorf("hbm: PIM register access on a device without PIM units")
+		return fmt.Errorf("hbm: PIM register access on a device without PIM units")
 	}
 	var seen uint64 // unit-visited bitmask; PIMUnits <= Banks <= 64
 	for _, idx := range bankIdxs {
@@ -707,7 +1024,7 @@ func (p *PseudoChannel) registerAccess(cmd *Command, res IssueResult, space RegS
 		case CmdWR:
 			p.stats.RegWrites++
 			if err := p.exec.RegisterWrite(u, space, cmd.Col, cmd.Data); err != nil {
-				return res, err
+				return err
 			}
 		case CmdRD:
 			// Every unit drives its read, but only the first one's data
@@ -717,14 +1034,14 @@ func (p *PseudoChannel) registerAccess(cmd *Command, res IssueResult, space RegS
 				buf = p.regBuf
 			}
 			if err := p.exec.RegisterRead(u, space, cmd.Col, buf); err != nil {
-				return res, err
+				return err
 			}
 			if res.Data == nil {
 				res.Data = buf
 			}
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // setPIMOpMode handles the PIM_OP_MODE register (Fig. 3c).

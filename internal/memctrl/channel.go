@@ -121,6 +121,47 @@ func (c *Channel) AdvanceTo(t int64) error {
 	return nil
 }
 
+// NextEvent returns the next cycle at which this channel's state can
+// change without a new command arriving: the minimum of the next refresh
+// deadline, the next bank-timer expiry (the soonest moment a command
+// blocked purely on timing could become legal), and the bus-busy horizon
+// (completion of the latest in-flight data transfer). The result is
+// always in (Now, nextRefresh] — refresh bounds every quiet period —
+// except when refresh is already overdue, in which case it returns Now:
+// the channel has work pending at the current cycle.
+//
+// This is the contract the event-driven core rests on: between Now and
+// NextEvent nothing in the channel moves, so controllers may jump their
+// clock straight there instead of walking cycles.
+func (c *Channel) NextEvent() int64 {
+	if c.nextRefresh <= c.now {
+		return c.now
+	}
+	next := c.nextRefresh
+	if t := c.pch.NextTimerExpiry(c.now); t > c.now && t < next {
+		next = t
+	}
+	if c.lastDataEnd > c.now && c.lastDataEnd < next {
+		next = c.lastDataEnd
+	}
+	return next
+}
+
+// SkipToNextEvent jumps the channel clock to NextEvent and services any
+// refresh that lands due there, returning the new clock value. A channel
+// whose next event is the current cycle (overdue refresh) only runs the
+// refresh machinery. Idle controllers use it to spend quiet periods
+// paying refresh debt instead of deferring it into the next demand burst.
+func (c *Channel) SkipToNextEvent() (int64, error) {
+	if t := c.NextEvent(); t > c.now {
+		c.now = t
+	}
+	if err := c.maybeRefresh(); err != nil {
+		return c.now, err
+	}
+	return c.now, nil
+}
+
 // Fences returns how many fences this channel executed.
 func (c *Channel) Fences() int64 { return c.m.fences.ShardValue(c.m.shard) }
 
@@ -134,40 +175,39 @@ func (c *Channel) PCH() *hbm.PseudoChannel { return c.pch }
 // channel clock, advancing the clock to the issue cycle. Refresh deadlines
 // are honoured transparently, including mid-burst in PIM modes.
 func (c *Channel) Issue(cmd hbm.Command) (hbm.IssueResult, error) {
+	var res hbm.IssueResult
 	if err := c.maybeRefresh(); err != nil {
-		return hbm.IssueResult{}, err
-	}
-	res, err := c.issueRaw(cmd)
-	if err != nil {
 		return res, err
 	}
-	c.trackState(cmd)
+	if err := c.issueRaw(&cmd, &res); err != nil {
+		return res, err
+	}
+	c.trackState(&cmd)
 	return res, nil
 }
 
-// issueRaw issues without refresh checks. With no delay hook the
-// schedule-then-issue round trip collapses into the device's single-pass
-// IssueEarliest (the command stream validates once, not twice); a Delayer
-// needs the split so it can push the issue cycle between the two halves.
-func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
-	var res hbm.IssueResult
-	var err error
+// issueRaw issues without refresh checks, filling *res in place (pointer
+// in, pointer out: the per-command fast path copies no structs). With no
+// delay hook the schedule-then-issue round trip collapses into the
+// device's single-pass IssueEarliest (the command stream validates once,
+// not twice); a Delayer needs the split so it can push the issue cycle
+// between the two halves.
+func (c *Channel) issueRaw(cmd *hbm.Command, res *hbm.IssueResult) error {
 	if c.Delay != nil {
-		var at int64
-		at, err = c.pch.EarliestIssue(cmd, c.now)
+		at, err := c.pch.EarliestIssue(*cmd, c.now)
 		if err != nil {
-			return hbm.IssueResult{}, err
+			return err
 		}
 		c.delaySeq++
 		if extra := c.Delay.ExtraIssueCycles(c.ChannelID, c.delaySeq, at); extra > 0 {
 			at += extra
 		}
-		res, err = c.pch.Issue(cmd, at)
-	} else {
-		res, err = c.pch.IssueEarliest(cmd, c.now)
-	}
-	if err != nil {
-		return hbm.IssueResult{}, err
+		*res, err = c.pch.Issue(*cmd, at)
+		if err != nil {
+			return err
+		}
+	} else if err := c.pch.IssueEarliest(cmd, c.now, res); err != nil {
+		return err
 	}
 	at := res.Cycle
 	if c.Trace != nil {
@@ -199,11 +239,17 @@ func (c *Channel) issueRaw(cmd hbm.Command) (hbm.IssueResult, error) {
 			c.lastDataEnd = end
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// issueAux issues a refresh-machinery command, discarding the result.
+func (c *Channel) issueAux(cmd hbm.Command) error {
+	var res hbm.IssueResult
+	return c.issueRaw(&cmd, &res)
 }
 
 // trackState remembers the open broadcast row so refresh can restore it.
-func (c *Channel) trackState(cmd hbm.Command) {
+func (c *Channel) trackState(cmd *hbm.Command) {
 	if c.pch.Mode() == hbm.ModeSB {
 		c.abRowOpen = false
 		return
@@ -271,11 +317,11 @@ func (c *Channel) maybeRefresh() error {
 				c.nextRefresh += int64(c.cfg.Timing.REFI)
 				continue
 			}
-			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdPREA}); err != nil {
+			if err := c.issueAux(hbm.Command{Kind: hbm.CmdPREA}); err != nil {
 				return fmt.Errorf("memctrl: refresh precharge: %w", err)
 			}
 		}
-		if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdREF}); err != nil {
+		if err := c.issueAux(hbm.Command{Kind: hbm.CmdREF}); err != nil {
 			return fmt.Errorf("memctrl: refresh: %w", err)
 		}
 		c.m.refreshes.Inc(c.m.shard)
@@ -284,17 +330,17 @@ func (c *Channel) maybeRefresh() error {
 			c.m.refreshDebt.Set(c.m.shard, int64(c.refreshDebt))
 		}
 		if c.abRowOpen && c.pch.Mode() != hbm.ModeSB {
-			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, Row: c.openABRow}); err != nil {
+			if err := c.issueAux(hbm.Command{Kind: hbm.CmdACT, Row: c.openABRow}); err != nil {
 				return fmt.Errorf("memctrl: refresh reopen: %w", err)
 			}
 		}
 		if hsBank >= 0 {
-			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hsBank, Row: c.cfg.ModeRow()}); err != nil {
+			if err := c.issueAux(hbm.Command{Kind: hbm.CmdACT, BG: 0, Bank: hsBank, Row: c.cfg.ModeRow()}); err != nil {
 				return fmt.Errorf("memctrl: refresh handshake reopen: %w", err)
 			}
 		}
 		for _, ob := range reopen {
-			if _, err := c.issueRaw(hbm.Command{Kind: hbm.CmdACT, BG: ob.bg, Bank: ob.bank, Row: ob.row}); err != nil {
+			if err := c.issueAux(hbm.Command{Kind: hbm.CmdACT, BG: ob.bg, Bank: ob.bank, Row: ob.row}); err != nil {
 				return fmt.Errorf("memctrl: refresh row reopen: %w", err)
 			}
 		}

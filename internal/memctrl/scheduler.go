@@ -59,6 +59,48 @@ type Scheduler struct {
 	writeBuf            bool
 	lowWater, highWater int
 	wqueue              txRing
+
+	// activateAhead scratch: per-flat-bank window summary built in one
+	// pass (the old nested wanted-scan was O(window²) per serviced
+	// transaction). aheadOrder remembers which entries are live so the
+	// next call clears only those. Banks <= 64 on every supported
+	// geometry (the same bound the visited bitmask relied on).
+	aheadBank  [64]aheadBankState
+	aheadOrder []int
+	// aheadFresh marks the scratch as built by the current step's pick
+	// scan; activateAhead consumes it. Services that bypass the pick scan
+	// (write-buffer drains) find it false and rebuild from the live queue.
+	aheadFresh bool
+}
+
+// aheadBankState summarizes one bank's slice of the FR-FCFS window for
+// the activate-ahead pass: the row its oldest queued transaction wants,
+// the bank's open row, and whether any queued transaction still wants
+// that open row.
+type aheadBankState struct {
+	firstRow  uint32
+	openRow   uint32
+	open      bool
+	wantsOpen bool
+	seen      bool
+}
+
+// summarize folds one window entry into the per-bank scratch: first
+// occurrence records the bank's demand row and open-row state (window
+// order preserved in aheadOrder), later occurrences only extend
+// wantsOpen.
+func (s *Scheduler) summarize(l Loc, bpg int, pch *hbm.PseudoChannel) {
+	fb := l.BG*bpg + l.Bank
+	st := &s.aheadBank[fb]
+	if !st.seen {
+		st.seen = true
+		st.firstRow = l.Row
+		st.openRow, st.open = pch.OpenRow(l.BG, l.Bank)
+		st.wantsOpen = st.open && l.Row == st.openRow
+		s.aheadOrder = append(s.aheadOrder, fb)
+	} else if st.open && l.Row == st.openRow {
+		st.wantsOpen = true
+	}
 }
 
 // Demand-path stat accessors, reading this channel's shard of the metrics
@@ -175,13 +217,34 @@ func (s *Scheduler) step() (*Tx, error) {
 		window = s.queue.len()
 	}
 
-	// First ready: the oldest row hit in the window; else the oldest.
+	// One scan serves both decisions of this step: the FR-FCFS pick (the
+	// oldest row hit in the window, else the oldest) and the per-bank
+	// window summary activateAhead consumes after the pick is serviced.
+	// The summary is a cache of the window's bank/row demand; see
+	// activateAhead for the invalidation argument (why it stays valid
+	// across the state changes service makes before using it).
+	for _, fb := range s.aheadOrder {
+		s.aheadBank[fb] = aheadBankState{}
+	}
+	s.aheadOrder = s.aheadOrder[:0]
+	bpg := s.cfg.BanksPerGroup
+	pch := s.ch.PCH()
 	pick := -1
 	for i := 0; i < window; i++ {
-		tx := s.queue.at(i)
-		if row, open := s.ch.PCH().OpenRow(tx.Loc.BG, tx.Loc.Bank); open && row == tx.Loc.Row {
+		l := s.queue.at(i).Loc
+		fb := l.BG*bpg + l.Bank
+		st := &s.aheadBank[fb]
+		if !st.seen {
+			st.seen = true
+			st.firstRow = l.Row
+			st.openRow, st.open = pch.OpenRow(l.BG, l.Bank)
+			st.wantsOpen = st.open && l.Row == st.openRow
+			s.aheadOrder = append(s.aheadOrder, fb)
+		} else if st.open && l.Row == st.openRow {
+			st.wantsOpen = true
+		}
+		if pick < 0 && st.open && l.Row == st.openRow {
 			pick = i
-			break
 		}
 	}
 	if pick < 0 {
@@ -205,6 +268,7 @@ func (s *Scheduler) step() (*Tx, error) {
 			return tx, nil
 		}
 	}
+	s.aheadFresh = true
 	if err := s.service(tx); err != nil {
 		return nil, err
 	}
@@ -218,16 +282,26 @@ func (s *Scheduler) step() (*Tx, error) {
 }
 
 // Idle lets the controller use a quiet period: it drains up to max
-// buffered writes while no reads are pending.
+// buffered writes while no reads are pending, then jumps the channel
+// clock to the next cycle where bank state can change on its own
+// (Channel.NextEvent: timer expiry, data completion, refresh deadline),
+// servicing any refresh that lands due there — refresh debt is paid
+// during quiet time instead of stalling the next demand burst.
 func (s *Scheduler) Idle(max int) error {
-	if !s.writeBuf || s.queue.len() > 0 {
+	if s.queue.len() > 0 {
 		return nil
 	}
-	target := s.wqueue.len() - max
-	if target < 0 {
-		target = 0
+	if s.writeBuf {
+		target := s.wqueue.len() - max
+		if target < 0 {
+			target = 0
+		}
+		if err := s.drainWrites(target); err != nil {
+			return err
+		}
 	}
-	return s.drainWrites(target)
+	_, err := s.ch.SkipToNextEvent()
+	return err
 }
 
 // service opens the row if needed and issues the column command.
@@ -287,54 +361,74 @@ func (s *Scheduler) service(tx *Tx) error {
 // For each bank, only its oldest queued transaction is considered, and an
 // open row is closed early only when no queued transaction in the window
 // still wants it — so no row hit FR-FCFS would have served is sacrificed.
+//
+// It consumes the per-bank window summary step built during its pick scan
+// instead of rescanning the window. The summary stays valid because the
+// only state that changed since it was built is on the serviced
+// transaction's own bank (service's PRE/ACT), and that bank is excluded
+// from speculation anyway; transparent refresh restores every open row it
+// closes. Two deltas against the post-removal window are repaired here:
+// the serviced entry's removal (again: its bank is skipped) and the one
+// entry that slides into the window when the queue is deeper than it.
 func (s *Scheduler) activateAhead(cur Loc) {
-	window := s.Window
-	if window > s.queue.len() {
-		window = s.queue.len()
+	fresh := s.aheadFresh
+	s.aheadFresh = false
+	if s.AheadDepth <= 0 || s.Window < 1 {
+		return
 	}
-	// Visited-bank bitmask over flat bank indices (Banks <= 64 on every
-	// supported geometry).
-	bankBit := func(bg, bank int) uint64 { return 1 << uint(bg*s.cfg.BanksPerGroup+bank) }
-	seen := bankBit(cur.BG, cur.Bank)
+	bpg := s.cfg.BanksPerGroup
+	curBank := cur.BG*bpg + cur.Bank
+	pch := s.ch.PCH()
+	if fresh {
+		if s.queue.len() >= s.Window {
+			// The pick's removal slid one unscanned entry into the window.
+			s.summarize(s.queue.at(s.Window-1).Loc, bpg, pch)
+		}
+	} else {
+		// No pick scan preceded this service (write-buffer drain): build
+		// the summary from the live read queue, like the pick scan would.
+		for _, fb := range s.aheadOrder {
+			s.aheadBank[fb] = aheadBankState{}
+		}
+		s.aheadOrder = s.aheadOrder[:0]
+		window := s.Window
+		if window > s.queue.len() {
+			window = s.queue.len()
+		}
+		for i := 0; i < window; i++ {
+			s.summarize(s.queue.at(i).Loc, bpg, pch)
+		}
+	}
 	opened := 0
-	for i := 0; i < window && opened < s.AheadDepth; i++ {
-		l := s.queue.at(i).Loc
-		bit := bankBit(l.BG, l.Bank)
-		if seen&bit != 0 {
+	for _, fb := range s.aheadOrder {
+		if opened >= s.AheadDepth {
+			break
+		}
+		if fb == curBank {
 			continue
 		}
-		seen |= bit
-		row, open := s.ch.PCH().OpenRow(l.BG, l.Bank)
-		if open && row == l.Row {
+		st := &s.aheadBank[fb]
+		if st.open && st.firstRow == st.openRow {
 			continue // already a hit
 		}
-		if open {
+		bg, bank := fb/bpg, fb%bpg
+		if st.open {
 			// Conflict: close early only if nobody in the window still
 			// wants the open row.
-			wanted := false
-			for j := 0; j < window; j++ {
-				q := s.queue.at(j).Loc
-				if q.BG == l.BG && q.Bank == l.Bank && q.Row == row {
-					wanted = true
-					break
-				}
-			}
-			if wanted {
+			if st.wantsOpen {
 				continue
 			}
-			if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: l.BG, Bank: l.Bank}); err != nil {
+			if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdPRE, BG: bg, Bank: bank}); err != nil {
 				return
 			}
 			// Speculative traffic: counted apart from the demand row-hit /
 			// miss counters so reported hit rates stay honest.
 			s.ch.m.aheadCloses.Inc(s.ch.m.shard)
 		}
-		if _, open := s.ch.PCH().OpenRow(l.BG, l.Bank); !open {
-			s.ch.m.aheadOpens.Inc(s.ch.m.shard)
-		}
+		s.ch.m.aheadOpens.Inc(s.ch.m.shard)
 		// Best effort: tRRD/tFAW pressure just means the ACT lands a bit
 		// later; stop looking ahead on any failure.
-		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdACT, BG: l.BG, Bank: l.Bank, Row: l.Row}); err != nil {
+		if _, err := s.ch.Issue(hbm.Command{Kind: hbm.CmdACT, BG: bg, Bank: bank, Row: st.firstRow}); err != nil {
 			return
 		}
 		opened++

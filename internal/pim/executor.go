@@ -28,8 +28,11 @@ type Executor struct {
 	// desync marks units [1, n) stale relative to unit 0 after lockstep
 	// fast-path triggers; syncUnits repairs them before any readout.
 	desync bool
-	// cnt is the reusable access-counting adapter for the fast path.
+	// cnt is the reusable access-counting adapter for the fast path, and
+	// sc the reusable step context (both keep per-trigger state off the
+	// stack so nothing is copied per command).
 	cnt countingAccess
+	sc  stepContext
 
 	// TL, when set, records per-trigger retired-instruction counts into
 	// the observability timeline (the Perfetto PIM-activity counter
@@ -120,28 +123,27 @@ func (e *Executor) RegisterRead(unit int, space hbm.RegSpace, col uint32, buf []
 // Trigger implements hbm.PIMExecutor: one column command advances every
 // unit by one command slot. Timing-only devices take the lockstep fast
 // path when the bank-access provider can account replicated traffic.
-func (e *Executor) Trigger(ctx hbm.TriggerContext) (hbm.TriggerInfo, error) {
+func (e *Executor) Trigger(ctx *hbm.TriggerContext) (hbm.TriggerInfo, error) {
 	e.triggers++
-	sc := stepContext{
-		kind:       ctx.Kind,
-		bankSel:    ctx.BankSel,
-		row:        ctx.Row,
-		col:        ctx.Col,
-		wrData:     ctx.WrData,
-		access:     ctx.Access,
-		variant:    ctx.Variant,
-		functional: ctx.Functional,
-	}
+	sc := &e.sc
+	sc.kind = ctx.Kind
+	sc.bankSel = ctx.BankSel
+	sc.row = ctx.Row
+	sc.col = ctx.Col
+	sc.wrData = ctx.WrData
+	sc.access = ctx.Access
+	sc.variant = ctx.Variant
+	sc.functional = ctx.Functional
 	if !ctx.Functional && len(e.units) > 1 {
 		if rep, ok := ctx.Access.(hbm.BankAccessReplicator); ok {
-			return e.triggerLockstep(&sc, rep, ctx.Cycle)
+			return e.triggerLockstep(sc, rep, ctx.Cycle)
 		}
 	}
 	var info hbm.TriggerInfo
 	for i, u := range e.units {
 		sc.evenBank = i * e.banksPerUnit
 		sc.oddBank = i*e.banksPerUnit + e.banksPerUnit - 1
-		c, err := u.step(&sc)
+		c, err := u.step(sc)
 		info.Instructions += c.instrs
 		info.Arithmetic += c.arith
 		info.DataMoves += c.moves

@@ -85,13 +85,24 @@ func (u *Unit) resetPPC() {
 }
 
 // fetchSlot returns the cached decode of CRF slot i, decoding on first use
-// after the slot was written.
-func (u *Unit) fetchSlot(i int) (isa.Instruction, error) {
+// after the slot was written. The returned pointer aliases the cache entry
+// (valid until the covering CRF slot is rewritten), so the per-trigger
+// fetch loop copies no Instruction structs.
+func (u *Unit) fetchSlot(i int) (*isa.Instruction, error) {
 	if !u.decOK[i] {
-		u.decoded[i], u.decErr[i] = isa.Decode(u.crf[i])
-		u.decOK[i] = true
+		u.decodeSlot(i)
 	}
-	return u.decoded[i], u.decErr[i]
+	return &u.decoded[i], u.decErr[i]
+}
+
+// decodeSlot fills the decode cache for slot i — kept out of fetchSlot
+// (and out of fetchSlot's inline budget) so the cache-hit path inlines
+// into the fetch loop.
+//
+//go:noinline
+func (u *Unit) decodeSlot(i int) {
+	u.decoded[i], u.decErr[i] = isa.Decode(u.crf[i])
+	u.decOK[i] = true
 }
 
 // GRF returns a copy of a vector register (half 0 = GRF_A, 1 = GRF_B).
@@ -198,7 +209,7 @@ func (u *Unit) step(ctx *stepContext) (stepCounts, error) {
 			c.moves++
 		}
 		if err := u.execute(in, ctx); err != nil {
-			return c, fmt.Errorf("pim: CRF[%d] %s: %w", u.ppc, in, err)
+			return c, fmt.Errorf("pim: CRF[%d] %s: %w", u.ppc, *in, err)
 		}
 		u.ppc++
 		// Flow control after the consuming instruction is zero-cycle
@@ -274,16 +285,18 @@ func (c *stepContext) aamIndex(entries int) uint8 {
 }
 
 // execute performs one data or arithmetic instruction.
-func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
+func (u *Unit) execute(in *isa.Instruction, ctx *stepContext) error {
 	dstIdx, s0Idx, s1Idx := int(in.DstIdx), int(in.Src0Idx), int(in.Src1Idx)
 	if in.AAM {
 		// All three index fields are replaced by the same address
 		// sub-field; distinct register files keep the operands distinct.
+		gi := int(ctx.aamIndex(u.grfEntries))
+		si := int(ctx.aamIndex(isa.SRFEntries))
 		idxFor := func(s isa.Src) int {
 			if s.IsSRF() {
-				return int(ctx.aamIndex(isa.SRFEntries))
+				return si
 			}
-			return int(ctx.aamIndex(u.grfEntries))
+			return gi
 		}
 		dstIdx, s0Idx, s1Idx = idxFor(in.Dst), idxFor(in.Src0), idxFor(in.Src1)
 	}
@@ -299,25 +312,10 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 		u.grf(in.Src0)[s0Idx].DecodeBytes(ctx.wrData[:2*fp16.Lanes])
 	}
 
-	// Operand fetch. Only data-movement instructions may capture the write
-	// datapath as their bank operand; an arithmetic bank operand needs a
-	// real array read, which a WR trigger supplies only in the SRW variant.
+	// Only data-movement instructions may capture the write datapath as
+	// their bank operand; an arithmetic bank operand needs a real array
+	// read, which a WR trigger supplies only in the SRW variant.
 	allowCapture := in.Op.IsData()
-	fetch := func(s isa.Src, idx int) (fp16.Vector, error) {
-		switch {
-		case s.IsGRF():
-			if idx >= u.grfEntries {
-				return nil, fmt.Errorf("pim: %s index %d exceeds GRF depth %d", s, idx, u.grfEntries)
-			}
-			return u.grf(s)[idx], nil
-		case s.IsBank():
-			return u.readBank(s, ctx, allowCapture)
-		case s == isa.SRFM:
-			return u.broadcast(u.srfM[idx%isa.SRFEntries]), nil
-		default: // SRF_A
-			return u.broadcast(u.srfA[idx%isa.SRFEntries]), nil
-		}
-	}
 
 	switch in.Op {
 	case isa.MOV:
@@ -334,7 +332,7 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 			}
 			return u.writeBank(in.Dst, ctx, src)
 		}
-		src, err := fetch(in.Src0, s0Idx)
+		src, err := u.fetch(in.Src0, s0Idx, ctx, allowCapture)
 		if err != nil {
 			return err
 		}
@@ -371,11 +369,11 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 	}
 
 	// Arithmetic.
-	a, err := fetch(in.Src0, s0Idx)
+	a, err := u.fetch(in.Src0, s0Idx, ctx, allowCapture)
 	if err != nil {
 		return err
 	}
-	b, err := fetch(in.Src1, s1Idx)
+	b, err := u.fetch(in.Src1, s1Idx, ctx, allowCapture)
 	if err != nil {
 		return err
 	}
@@ -402,6 +400,25 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 	return nil
 }
 
+// fetch resolves one instruction operand. Like readBank's result, a bank
+// or scalar-broadcast operand aliases the unit's staging buffers and is
+// only valid until the next fetch.
+func (u *Unit) fetch(s isa.Src, idx int, ctx *stepContext, allowCapture bool) (fp16.Vector, error) {
+	switch {
+	case s.IsGRF():
+		if idx >= u.grfEntries {
+			return nil, fmt.Errorf("pim: %s index %d exceeds GRF depth %d", s, idx, u.grfEntries)
+		}
+		return u.grf(s)[idx], nil
+	case s.IsBank():
+		return u.readBank(s, ctx, allowCapture)
+	case s == isa.SRFM:
+		return u.broadcast(u.srfM[idx%isa.SRFEntries]), nil
+	default: // SRF_A
+		return u.broadcast(u.srfA[idx%isa.SRFEntries]), nil
+	}
+}
+
 // readBank fetches 32 bytes from the unit's even or odd bank at the
 // triggering column. Under a WR trigger, a data-movement instruction
 // (allowCapture) captures the host payload from the write datapath instead
@@ -413,7 +430,10 @@ func (u *Unit) execute(in isa.Instruction, ctx *stepContext) error {
 // into a register) before then, which every instruction does.
 func (u *Unit) readBank(s isa.Src, ctx *stepContext, allowCapture bool) (fp16.Vector, error) {
 	if allowCapture && ctx.kind == hbm.CmdWR {
-		if !ctx.functional || len(ctx.wrData) < 2*fp16.Lanes {
+		if !ctx.functional {
+			return u.bankVec, nil // contents are never read in timing-only mode
+		}
+		if len(ctx.wrData) < 2*fp16.Lanes {
 			clear(u.bankVec)
 			return u.bankVec, nil
 		}
@@ -427,8 +447,7 @@ func (u *Unit) readBank(s isa.Src, ctx *stepContext, allowCapture bool) (fp16.Ve
 		return nil, err
 	}
 	if !ctx.functional {
-		clear(u.bankVec) // contents are never read in timing-only mode
-		return u.bankVec, nil
+		return u.bankVec, nil // contents are never read in timing-only mode
 	}
 	return u.bankVec.DecodeBytes(u.bankBuf), nil
 }

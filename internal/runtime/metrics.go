@@ -86,6 +86,23 @@ func (r *Runtime) notePhase(ch int, ph KernelPhase, start int64) {
 	}
 }
 
+// notePhaseN records n operations of one phase spanning start..now as a
+// single metrics update. Back-to-back operations telescope (each starts
+// at the cycle its predecessor ended), so the totals are identical to n
+// individual notePhase calls — this is the batched form the trigger-run
+// paths use to keep the sharded-counter atomics off the per-command path.
+func (r *Runtime) notePhaseN(ch int, ph KernelPhase, n int, start int64) {
+	shard := r.Chans[ch].MetricsShard()
+	d := r.Chans[ch].Now() - start
+	r.pm.counts[ph].Add(shard, int64(n))
+	r.pm.cycles[ph].Add(shard, d)
+	if r.obsAgg != nil {
+		cell := &r.obsAgg[ch][ph]
+		cell.n += int64(n)
+		cell.cycles += d
+	}
+}
+
 // PhaseBreakdown is one kernel's cost split by phase, summed over
 // channels. Cycles are simulated cycles (sum across channels, so on a
 // multi-channel kernel they exceed the kernel's critical-path latency).

@@ -344,6 +344,42 @@ func (r *Runtime) TriggerWR(ch, bankSel int, col uint32, data []byte) error {
 	return nil
 }
 
+// TriggerRDRun issues n PIM-triggering column reads at consecutive
+// columns col0..col0+n-1 — one AAM batch — with the phase accounting
+// folded into a single metrics update (see notePhaseN).
+func (r *Runtime) TriggerRDRun(ch, bankSel int, col0 uint32, n int) error {
+	c := r.Chans[ch]
+	start := c.Now()
+	for i := 0; i < n; i++ {
+		cmd := hbm.Command{Kind: hbm.CmdRD, Bank: bankSel, Col: col0 + uint32(i)}
+		if _, err := c.Issue(cmd); err != nil {
+			return fmt.Errorf("runtime: ch%d %s: %w", ch, cmd, err)
+		}
+	}
+	r.notePhaseN(ch, PhaseTrigger, n, start)
+	return nil
+}
+
+// TriggerWRRun issues n PIM-triggering column writes at consecutive
+// columns col0..col0+n-1. When data is non-nil, data[i] rides the i-th
+// write datapath (functional operand loading); a nil data is the
+// timing-only form.
+func (r *Runtime) TriggerWRRun(ch, bankSel int, col0 uint32, n int, data [][]byte) error {
+	c := r.Chans[ch]
+	start := c.Now()
+	for i := 0; i < n; i++ {
+		cmd := hbm.Command{Kind: hbm.CmdWR, Bank: bankSel, Col: col0 + uint32(i)}
+		if data != nil {
+			cmd.Data = data[i]
+		}
+		if _, err := c.Issue(cmd); err != nil {
+			return fmt.Errorf("runtime: ch%d %s: %w", ch, cmd, err)
+		}
+	}
+	r.notePhaseN(ch, PhaseTrigger, n, start)
+	return nil
+}
+
 // Fence orders the preceding commands (one AAM window boundary).
 func (r *Runtime) Fence(ch int) { r.Chans[ch].Fence() }
 

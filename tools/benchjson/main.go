@@ -172,6 +172,43 @@ func checkBaseline(base, cur report, ratio float64) []string {
 			failures = append(failures, fmt.Sprintf("%s: %d B/op exceeds baseline %d B/op by more than %.1fx",
 				b.Name, r.BytesPerOp, b.BytesPerOp, ratio))
 		}
+		if b.MBPerS > 0 && r.MBPerS > 0 && r.MBPerS < b.MBPerS/ratio {
+			failures = append(failures, fmt.Sprintf("%s: %.1f MB/s fell below baseline %.1f MB/s by more than %.1fx",
+				b.Name, r.MBPerS, b.MBPerS, ratio))
+		}
+		failures = append(failures, checkExtras(b, r, ratio)...)
+	}
+	return failures
+}
+
+// checkExtras gates the custom units. Rate-like units (a "/s" suffix:
+// req/s, sim_req/s) regress downward, so they fail when the current value
+// falls below baseline/ratio; latency-like units (_ns/_us/_ms suffixes:
+// p99_us) regress upward, like ns/op. Every other custom unit — paper
+// anchors, counts, gains, recorded constants like baseline_ns/op —
+// carries no machine-independent contract and is not gated here (gains
+// have their own hard floor in cmd/pimload's -min-gain).
+func checkExtras(b, r result, ratio float64) []string {
+	var failures []string
+	for unit, bv := range b.Extra {
+		rate := strings.HasSuffix(unit, "/s")
+		latency := strings.HasSuffix(unit, "_ns") || strings.HasSuffix(unit, "_us") || strings.HasSuffix(unit, "_ms")
+		if (!rate && !latency) || bv <= 0 {
+			continue
+		}
+		rv, ok := r.Extra[unit]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: unit %q in baseline but not in this run", b.Name, unit))
+			continue
+		}
+		if rate && rv < bv/ratio {
+			failures = append(failures, fmt.Sprintf("%s: %.1f %s fell below baseline %.1f by more than %.1fx",
+				b.Name, rv, unit, bv, ratio))
+		}
+		if latency && rv > bv*ratio {
+			failures = append(failures, fmt.Sprintf("%s: %.1f %s exceeds baseline %.1f by more than %.1fx",
+				b.Name, rv, unit, bv, ratio))
+		}
 	}
 	return failures
 }
