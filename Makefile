@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke trace-smoke chaos
+.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke model-smoke trace-smoke chaos
 
 all: build vet test
 
@@ -43,28 +43,43 @@ race-goldens:
 	$(GO) test -race -count=2 -run 'TestGolden' .
 	$(GO) test -race -run 'TestAggregateEarliestMatchesBruteForce' ./internal/hbm/
 
-# bench-serve runs the serving A/B (dynamic batching vs batch-size-1 at
-# equal shard count) through cmd/pimload and records throughput, latency
-# quantiles and the batching gain in BENCH_serve.json. The README's
-# "Serving" table is regenerated from this file. Fails if the gain ever
-# drops below 2x.
+# bench-serve runs both serving A/Bs through cmd/pimload and records
+# throughput, latency quantiles and the gains in BENCH_serve.json: the
+# GEMV batching A/B (dynamic batching vs batch-size-1) and the sequence
+# A/B (continuous batching vs one-sequence-at-a-time on the same pool).
+# The README's "Serving" tables are regenerated from this file. Fails if
+# either gain ever drops below 2x.
 bench-serve:
 	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 > serve_bench.txt
+	$(GO) run ./cmd/pimload -seq -compare -bench -model ds2-small \
+	    -seqs 24 -conc 8 -seqlen-dist uniform:8:16 -verify=false -min-gain 2 >> serve_bench.txt
 	$(GO) run ./tools/benchjson -out BENCH_serve.json < serve_bench.txt
 	@rm -f serve_bench.txt
 
-# bench-serve-check re-runs the serving A/B and fails if throughput
-# (req/s), a latency quantile (p50/p95/p99_us) or ns/op regressed past
-# 2.5x the checked-in BENCH_serve.json baseline. Rates gate downward,
-# latencies upward; counts and gain factors are not gated here (the gain
-# has its own hard -min-gain floor inside cmd/pimload).
+# bench-serve-check re-runs both serving A/Bs and fails if throughput
+# (req/s, seq/s), a latency quantile (*_us) or ns/op regressed past 2.5x
+# the checked-in BENCH_serve.json baseline. Rates gate downward,
+# latencies upward; counts and gain factors are not gated here (each gain
+# has its own hard -min-gain floor inside cmd/pimload). Both A/Bs must
+# run: benchjson -check fails on baseline entries missing from the run.
 bench-serve-check:
-	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 | $(GO) run ./tools/benchjson -check BENCH_serve.json
+	@{ $(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 && \
+	   $(GO) run ./cmd/pimload -seq -compare -bench -model ds2-small \
+	       -seqs 24 -conc 8 -seqlen-dist uniform:8:16 -verify=false -min-gain 2; } \
+	| $(GO) run ./tools/benchjson -check BENCH_serve.json
 
 # serve-smoke boots the real pimserve binary on a random port and checks
 # the HTTP taxonomy, backpressure and graceful shutdown over TCP.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# model-smoke boots pimserve with the DS2-small LSTM stack resident on a
+# 2-shard pool and drives mixed-length sequences through the continuous
+# batcher over TCP, every step verified against the host oracle — zero
+# wrong answers or the smoke fails. Also checks the sequence HTTP
+# taxonomy and the /v1/models inventory.
+model-smoke:
+	bash scripts/model_smoke.sh
 
 # trace-smoke exercises the observability stack end to end: a pimsim
 # -timeline export, a traced pimserve under load (live /debug/trace,

@@ -58,6 +58,13 @@ func main() {
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "in-process server: batcher flush timeout")
 		queueDepth = flag.Int("queue-depth", 64, "in-process server: admission queue depth")
 
+		seq      = flag.Bool("seq", false, "sequence mode: drive continuous batching with multi-step LSTM sequences")
+		seqDist  = flag.String("seqlen-dist", "uniform:8:24", "with -seq: per-sequence frame counts, fixed:N or uniform:A:B")
+		seqs     = flag.Int("seqs", 64, "with -seq: total sequences")
+		seqEOS   = flag.Int("eos", -1, "with -seq: EOS class for early retirement (<0 disables)")
+		seqAdmit = flag.Int("seq-admit", 0, "with -seq: in-process stepper admission cap (0 = every channel)")
+		seed     = flag.Int64("seed", 1, "with -seq: frame/length RNG seed")
+
 		chaos       = flag.Bool("chaos", false, "run the three-phase fault drill (baseline / chaos / recovery)")
 		profile     = flag.String("fault-profile", "chaos-mild", "with -chaos: fault profile to inject")
 		faultSeed   = flag.Int64("fault-seed", 42, "with -chaos: injector seed")
@@ -68,6 +75,29 @@ func main() {
 
 	if *compare && *url != "" {
 		log.Fatal("pimload: -compare boots its own servers; drop -url")
+	}
+	if *seq {
+		if *chaos {
+			log.Fatal("pimload: -seq and -chaos are separate drills")
+		}
+		name := *model
+		if name == "micro-256x256" {
+			name = "ds2-small" // the GEMV default is meaningless here
+		}
+		o := seqOpts{
+			model: name, dist: *seqDist, seqs: *seqs, conc: *conc,
+			eos: *seqEOS, seed: *seed, verify: *verify,
+			bench: *bench, compare: *compare, minGain: *minGain,
+		}
+		base := serve.Config{
+			Shards: *shards, Channels: *channels,
+			QueueDepth: *queueDepth, SeqAdmit: *seqAdmit,
+			RequestTimeout: 60 * time.Second,
+		}
+		if err := runSeqMode(o, base, *url); err != nil {
+			log.Fatalf("pimload: %v", err)
+		}
+		return
 	}
 	if *chaos {
 		if *url != "" || *compare {

@@ -1,0 +1,156 @@
+// Sequence-workload mode: pimload -seq drives the continuous-batching
+// path with multi-step LSTM sequences instead of single GEMV requests.
+// Lengths come from -seqlen-dist ("fixed:N" or "uniform:A:B"), outputs
+// are verified step-by-step against the host-session oracle, and
+// -compare runs the continuous-batching A/B: the same pool with the
+// stepper admitting every slot vs pinned to one sequence at a time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"pimsim/internal/models"
+	"pimsim/internal/serve"
+)
+
+type seqOpts struct {
+	model   string
+	dist    string
+	seqs    int
+	conc    int
+	eos     int
+	seed    int64
+	verify  bool
+	bench   bool
+	compare bool
+	minGain float64
+}
+
+// runSeqMode is the -seq entry point. With -compare it boots two
+// in-process pools — continuous batching on (SeqAdmit = channels) and
+// the sequential baseline (SeqAdmit = 1) — and prints the
+// simulated-device step-throughput gain.
+func runSeqMode(o seqOpts, base serve.Config, url string) error {
+	cfg, ok := models.ServingConfigByName(o.model)
+	if !ok {
+		return fmt.Errorf("unknown sequence model %q (run pimserve -seq-models all and see GET /v1/models)", o.model)
+	}
+	dist, err := serve.ParseSeqLenDist(o.dist)
+	if err != nil {
+		return err
+	}
+	base.SeqModels = []models.Config{cfg}
+
+	if o.compare {
+		if url != "" {
+			return fmt.Errorf("-compare boots its own servers; drop -url")
+		}
+		cont := base
+		cont.SeqAdmit = 0 // every channel
+		contRep, err := runSeqAgainst(cont, cfg, dist, o)
+		if err != nil {
+			return fmt.Errorf("continuous run: %w", err)
+		}
+		serial := base
+		serial.SeqAdmit = 1
+		serialRep, err := runSeqAgainst(serial, cfg, dist, o)
+		if err != nil {
+			return fmt.Errorf("sequential run: %w", err)
+		}
+		gain := 0.0
+		if serialRep.SimStepPerSec > 0 {
+			gain = contRep.SimStepPerSec / serialRep.SimStepPerSec
+		}
+		if o.bench {
+			printSeqBench("continuous", contRep)
+			printSeqBench("sequential", serialRep)
+			fmt.Printf("BenchmarkServeSeq/gain-1 1 0 ns/op %.3f x_gain\n", gain)
+		} else {
+			fmt.Printf("continuous batching (admit %d):\n%s", base.Channels, contRep)
+			fmt.Printf("sequential (admit 1):\n%s", serialRep)
+			fmt.Printf("simulated-device step-throughput gain: %.2fx\n", gain)
+		}
+		if o.minGain > 0 && gain < o.minGain {
+			return fmt.Errorf("continuous-batching gain %.2fx below required %.2fx", gain, o.minGain)
+		}
+		return nil
+	}
+
+	var rep *serve.SeqReport
+	if url == "" {
+		rep, err = runSeqAgainst(base, cfg, dist, o)
+	} else {
+		rep, err = runSeqLoad(url, cfg, dist, o)
+	}
+	if err != nil {
+		return err
+	}
+	if o.bench {
+		printSeqBench("closed", rep)
+	} else {
+		fmt.Print(rep)
+	}
+	if rep.Failures > 0 || rep.BadOutputs > 0 {
+		return fmt.Errorf("%d failures, %d bad outputs", rep.Failures, rep.BadOutputs)
+	}
+	return nil
+}
+
+// runSeqAgainst boots an in-process server with cfg and drives it; the
+// graceful drain is part of the run, exactly like the GEMV path.
+func runSeqAgainst(cfg serve.Config, model models.Config, dist serve.SeqLenDist, o seqOpts) (*serve.SeqReport, error) {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := ctxTimeout(30 * time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		if err := s.Close(ctx); err != nil {
+			log.Printf("pimload: drain: %v", err)
+		}
+	}()
+	return runSeqLoad("http://"+ln.Addr().String(), model, dist, o)
+}
+
+func runSeqLoad(base string, model models.Config, dist serve.SeqLenDist, o seqOpts) (*serve.SeqReport, error) {
+	return serve.RunSeqLoad(serve.SeqLoadConfig{
+		BaseURL: base,
+		Model:   model,
+		Seqs:    o.seqs, Concurrency: o.conc,
+		LenDist: dist,
+		EOS:     o.eos,
+		Seed:    o.seed,
+		Verify:  o.verify,
+	})
+}
+
+// printSeqBench writes one go-bench-shaped line per run; iterations = OK
+// sequences, ns/op = wall time per completed sequence.
+func printSeqBench(tag string, r *serve.SeqReport) {
+	nsPerOp := 0.0
+	if r.OK > 0 {
+		nsPerOp = r.WallSeconds * 1e9 / float64(r.OK)
+	}
+	fmt.Printf("BenchmarkServeSeq/%s/%s-1 %d %.0f ns/op "+
+		"%.1f seq/s %.0f sim_steps/s "+
+		"%.0f step_p50_us %.0f step_p95_us %.0f step_p99_us "+
+		"%.0f seq_p50_us %.0f seq_p95_us %.0f seq_p99_us "+
+		"%d steps %d migrations\n",
+		tag, r.Model, r.OK, nsPerOp,
+		r.SeqPerSec, r.SimStepPerSec,
+		r.StepP50Us, r.StepP95Us, r.StepP99Us,
+		r.SeqP50Us, r.SeqP95Us, r.SeqP99Us,
+		r.Steps, r.Migrations)
+}

@@ -39,14 +39,74 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"pimsim/internal/engine"
 	"pimsim/internal/fault"
+	"pimsim/internal/models"
 	"pimsim/internal/obs"
 	"pimsim/internal/serve"
 )
+
+// batchWaitOverrides collects repeatable -model-batch-wait name=duration
+// flags into per-model flush deadlines.
+type batchWaitOverrides map[string]time.Duration
+
+func (o batchWaitOverrides) String() string {
+	parts := make([]string, 0, len(o))
+	for k, v := range o {
+		parts = append(parts, k+"="+v.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func (o batchWaitOverrides) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want model=duration, got %q", s)
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("batch wait must be positive, got %v", d)
+	}
+	o[name] = d
+	return nil
+}
+
+// resolveSeqModels turns the -seq-models flag value into model configs:
+// "all" is every serving-scale stack, otherwise a comma-separated subset
+// of their names.
+func resolveSeqModels(spec string) ([]models.Config, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if spec == "all" {
+		return models.ServingConfigs(), nil
+	}
+	var out []models.Config
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		cfg, ok := models.ServingConfigByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown sequence model %q (have %s)", name, seqModelNames())
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+func seqModelNames() string {
+	var names []string
+	for _, c := range models.ServingConfigs() {
+		names = append(names, c.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	var (
@@ -68,18 +128,29 @@ func main() {
 		evictAfter = flag.Int("evict-after", 2, "consecutive failures before a shard is evicted")
 		probeEvery = flag.Duration("probe-interval", 20*time.Millisecond, "probation probe cadence for evicted shards")
 
+		seqModels = flag.String("seq-models", "", "sequence models served with continuous batching: comma-separated names or \"all\" (see GET /v1/models)")
+		seqAdmit  = flag.Int("seq-admit", 0, "max sequences a stepper runs concurrently (0 = every channel; 1 = sequential baseline)")
+		maxSeqLen = flag.Int("max-seqlen", 0, "frames-per-sequence cap on /v1/infer (0 = default 256)")
+
 		traceOn   = flag.Bool("trace", false, "arm the request flight recorder (GET /debug/trace)")
 		traceDir  = flag.String("trace-dir", "", "directory for trace dumps (spans.json on shutdown, slow-<id>.json); implies -trace")
 		traceBuf  = flag.Int("trace-buf", 8192, "flight recorder capacity in spans (newest kept)")
 		slowReq   = flag.Duration("slow-request", 0, "dump the span tree of any request slower than this (0 = off)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = off)")
 	)
+	waits := batchWaitOverrides{}
+	flag.Var(waits, "model-batch-wait", "per-model batcher flush deadline override, name=duration (repeatable)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	// Fail a typo'd -engine here, before any shard is built.
 	if err := engine.Validate(*engineName); err != nil {
+		fatal(logger, err)
+	}
+
+	seqCfgs, err := resolveSeqModels(*seqModels)
+	if err != nil {
 		fatal(logger, err)
 	}
 
@@ -92,11 +163,31 @@ func main() {
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *timeout,
+		SeqModels:      seqCfgs,
+		SeqAdmit:       *seqAdmit,
+		MaxSeqLen:      *maxSeqLen,
 		ECC:            *ecc,
 		MaxRetries:     *maxRetries,
 		EvictAfter:     *evictAfter,
 		ProbeInterval:  *probeEvery,
 		Logger:         logger,
+	}
+	if len(waits) > 0 {
+		// Per-model flush deadlines patch the default GEMV model set; an
+		// override naming no served model is a boot error, not a silent noop.
+		cfg.Models = serve.DefaultModels()
+		patched := map[string]bool{}
+		for i := range cfg.Models {
+			if d, ok := waits[cfg.Models[i].Name]; ok {
+				cfg.Models[i].BatchWait = d
+				patched[cfg.Models[i].Name] = true
+			}
+		}
+		for name := range waits {
+			if !patched[name] {
+				fatal(logger, fmt.Errorf("-model-batch-wait: no served model %q", name))
+			}
+		}
 	}
 	if *profile != "" {
 		fc, err := fault.Profile(*profile, *faultSeed)
@@ -171,6 +262,10 @@ func main() {
 		"boot_ms", time.Since(boot).Milliseconds())
 	for _, m := range s.Models() {
 		logger.Info("model loaded", "model", m.Name, "m", m.M, "k", m.K)
+	}
+	for _, c := range seqCfgs {
+		logger.Info("sequence model resident", "model", c.Name,
+			"layers", len(c.Hidden), "weight_bytes", c.WeightBytes())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

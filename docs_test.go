@@ -13,6 +13,7 @@ import (
 
 	"pimsim/internal/fault"
 	"pimsim/internal/hbm"
+	"pimsim/internal/models"
 	"pimsim/internal/serve"
 )
 
@@ -188,5 +189,83 @@ func TestReadmeLinksObservabilityDoc(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	if !strings.Contains(readme, "docs/OBSERVABILITY.md") {
 		t.Error("README.md does not link docs/OBSERVABILITY.md")
+	}
+}
+
+// TestDesignDocSeqMetricsExist boots a server with a sequence model
+// resident and checks that every serve_seq_ metric DESIGN.md's model
+// serving section cites is registered under exactly that name.
+func TestDesignDocSeqMetricsExist(t *testing.T) {
+	doc := readDoc(t, "DESIGN.md")
+
+	cfg, ok := models.ServingConfigByName("ds2-small")
+	if !ok {
+		t.Fatal("ds2-small missing from models.ServingConfigs")
+	}
+	s, err := serve.New(serve.Config{Shards: 1, Channels: 2, SeqModels: []models.Config{cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	snap := s.Metrics().Snapshot()
+	known := make(map[string]bool)
+	for name := range snap.Counters {
+		known[name] = true
+	}
+	for name := range snap.Histograms {
+		known[name] = true
+	}
+
+	cited := 0
+	for _, f := range strings.Fields(doc) {
+		name := strings.Trim(f, "`,.")
+		if !strings.HasPrefix(name, "serve_seq_") {
+			continue
+		}
+		cited++
+		if !known[name] {
+			t.Errorf("DESIGN.md cites metric %q, not registered by the server", name)
+		}
+	}
+	if cited < 5 {
+		t.Errorf("DESIGN.md cites only %d serve_seq_ metrics; continuous batching section missing?", cited)
+	}
+}
+
+// TestModelServingDocNamesSurface pins the flags and endpoints the
+// model-serving docs teach against the strings the binaries define, and
+// keeps the README's model-serving table present.
+func TestModelServingDocNamesSurface(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, surface := range []string{
+		"-seq-models", "/v1/models", "continuous batching", "make model-smoke",
+	} {
+		if !strings.Contains(readme, surface) {
+			t.Errorf("README.md does not mention %s", surface)
+		}
+	}
+	if !strings.Contains(readme, "| continuous batching |") {
+		t.Error("README.md model-serving table missing its continuous batching row")
+	}
+
+	design := readDoc(t, "DESIGN.md")
+	for _, surface := range []string{"internal/nn", "SeqAdmit", "/v1/models", "HostOracle"} {
+		if !strings.Contains(design, surface) {
+			t.Errorf("DESIGN.md model serving section does not mention %s", surface)
+		}
+	}
+
+	pimserve := readDoc(t, "cmd/pimserve/main.go")
+	for _, flagName := range []string{`"seq-models"`, `"seq-admit"`, `"max-seqlen"`, `"model-batch-wait"`} {
+		if !strings.Contains(pimserve, flagName) {
+			t.Errorf("cmd/pimserve does not define flag %s named by the docs", flagName)
+		}
+	}
+	pimload := readDoc(t, "cmd/pimload/main.go")
+	for _, flagName := range []string{`"seq"`, `"seqlen-dist"`, `"seqs"`, `"eos"`} {
+		if !strings.Contains(pimload, flagName) {
+			t.Errorf("cmd/pimload does not define flag %s named by the docs", flagName)
+		}
 	}
 }

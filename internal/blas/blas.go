@@ -62,6 +62,11 @@ func grfDepth(rt *runtime.Runtime) int {
 	return isa.GRFEntries
 }
 
+// GRFDepth exposes the runtime's GRF accumulator depth (the g that
+// RefGemvPIMOrder interleaves over): oracle builders outside this
+// package need it to reproduce device accumulation order exactly.
+func GRFDepth(rt *runtime.Runtime) int { return grfDepth(rt) }
+
 // splat replicates a scalar across the 16 lanes and serializes it.
 func splat(v fp16.F16) []byte {
 	vec := fp16.NewVector(fp16.Lanes)

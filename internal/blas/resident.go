@@ -108,29 +108,52 @@ func (g *ResidentGemv) Unload(rt *runtime.Runtime) error {
 // Outputs are bit-exact against RefGemvPIMOrder per request. KernelStats
 // covers the whole batch: Cycles is the slowest participating channel.
 func (g *ResidentGemv) RunBatch(rt *runtime.Runtime, xs []fp16.Vector) ([]fp16.Vector, KernelStats, error) {
-	if g.unloaded {
-		return nil, KernelStats{}, fmt.Errorf("blas: RunBatch on an unloaded model")
-	}
 	B := len(xs)
 	if B == 0 {
 		return nil, KernelStats{}, fmt.Errorf("blas: empty batch")
 	}
-	if B > rt.NumChannels() {
-		return nil, KernelStats{}, fmt.Errorf("blas: batch %d exceeds %d channels (one request per channel)",
-			B, rt.NumChannels())
-	}
 	for i, x := range xs {
-		if x == nil || len(x) != g.K {
+		if x == nil {
 			return nil, KernelStats{}, fmt.Errorf("blas: batch input %d has %d elements, want %d", i, len(x), g.K)
 		}
 	}
+	return g.RunSlots(rt, xs)
+}
+
+// RunSlots is RunBatch with a sparse slot map: xs is indexed by pseudo
+// channel and nil entries leave their channel idle (no commands, clock
+// untouched). The continuous-batching stepper in internal/nn uses it to
+// keep a sequence bound to one channel for its whole lifetime while
+// other slots join and retire around it. ys is aligned with xs (nil for
+// idle slots). At least one slot must be occupied.
+func (g *ResidentGemv) RunSlots(rt *runtime.Runtime, xs []fp16.Vector) ([]fp16.Vector, KernelStats, error) {
+	if g.unloaded {
+		return nil, KernelStats{}, fmt.Errorf("blas: RunSlots on an unloaded model")
+	}
+	if len(xs) > rt.NumChannels() {
+		return nil, KernelStats{}, fmt.Errorf("blas: batch %d exceeds %d channels (one request per channel)",
+			len(xs), rt.NumChannels())
+	}
+	occupied := 0
+	for i, x := range xs {
+		if x == nil {
+			continue
+		}
+		occupied++
+		if len(x) != g.K {
+			return nil, KernelStats{}, fmt.Errorf("blas: batch input %d has %d elements, want %d", i, len(x), g.K)
+		}
+	}
+	if occupied == 0 {
+		return nil, KernelStats{}, fmt.Errorf("blas: empty batch")
+	}
 	plan := g.plan
-	ys := make([]fp16.Vector, B)
+	ys := make([]fp16.Vector, len(xs))
 
 	reg := beginRegion(rt)
 	var triggers int64
 	chErr := rt.ForEachChannel(func(ch int) error {
-		if ch >= B {
+		if ch >= len(xs) || xs[ch] == nil {
 			return nil // idle channel: no commands, clock untouched
 		}
 		x := xs[ch]

@@ -315,6 +315,20 @@ func (d *Driver) PIMRowsFree() int {
 	return int(free)
 }
 
+// PIMRowsLive returns the number of PIM rows currently allocated to
+// resident spans (model weights, recurrent state). With PIMRowsFree and
+// PIMRowsQuarantined it completes the row-budget picture /v1/models
+// reports per shard.
+func (d *Driver) PIMRowsLive() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var live uint32
+	for _, n := range d.pimAlloc {
+		live += n
+	}
+	return int(live)
+}
+
 // Uncacheable reports whether addr lives in an uncacheable region.
 func (d *Driver) Uncacheable(addr uint64) bool {
 	d.mu.Lock()

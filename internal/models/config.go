@@ -1,0 +1,156 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a servable instantiation of one of the paper's sequence
+// networks: a unidirectional LSTM stack plus an output projection, with
+// concrete (scaled-down) dimensions and a weight seed. The full layer
+// graphs above describe the published architectures for the timing
+// model; Config is what internal/nn compiles into a resident execution
+// plan on the functional simulator, where the weight footprint must fit
+// the device's PIM row budget (a full-size DS2 LSTM layer alone needs
+// thousands of rows per bank — see the derivation in DESIGN.md §9).
+//
+// The stack is strictly feed-forward between layers: layer l consumes
+// layer l-1's hidden state at the same timestep, and the last hidden
+// state feeds an Output x Hidden[last] projection whose logits drive
+// EOS retirement. Bidirectional layers of the source models are served
+// in their streaming (unidirectional) form — a known deviation, listed
+// in DESIGN.md.
+type Config struct {
+	Name   string `json:"name"`
+	Input  int    `json:"input"`  // per-frame input width
+	Hidden []int  `json:"hidden"` // hidden width per LSTM layer
+	Output int    `json:"output"` // output projection rows (logit count)
+	Seed   int64  `json:"seed"`   // deterministic weight generation
+}
+
+// Validate checks dimensional sanity.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("models: config needs a name")
+	}
+	if c.Input <= 0 {
+		return fmt.Errorf("models: %s: input width %d", c.Name, c.Input)
+	}
+	if len(c.Hidden) == 0 {
+		return fmt.Errorf("models: %s: no LSTM layers", c.Name)
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("models: %s: layer %d hidden width %d", c.Name, i, h)
+		}
+	}
+	if c.Output <= 0 {
+		return fmt.Errorf("models: %s: output width %d", c.Name, c.Output)
+	}
+	return nil
+}
+
+// WeightBytes is the FP16 parameter footprint: per LSTM layer the
+// 4H x X input and 4H x H recurrent matrices plus the 4H bias, then the
+// output projection.
+func (c Config) WeightBytes() int64 {
+	var elems int64
+	in := c.Input
+	for _, h := range c.Hidden {
+		elems += int64(4*h) * int64(in+h+1)
+		in = h
+	}
+	elems += int64(c.Output) * int64(in)
+	return 2 * elems
+}
+
+// servingScale divides the published dimensions down to something the
+// simulated device's PIM row region holds with replication headroom.
+const servingScale = 16
+
+// scaleDim shrinks a published dimension by servingScale and rounds to
+// the nearest multiple of 16 (one SIMD block), floored at 16.
+func scaleDim(d int) int {
+	s := (d/servingScale + 8) / 16 * 16
+	if s < 16 {
+		return 16
+	}
+	return s
+}
+
+// ServingConfig derives a scaled-down serving Config from a layer-graph
+// Model: the LSTM layers in order (hidden widths scaled; the inter-layer
+// input widths are implied by the stack), the first LSTM's input width
+// scaled, and the last FC layer's output rows (scaled and clamped to 256
+// when vocabulary-sized, kept as-is when already small).
+func ServingConfig(m Model, seed int64) (Config, error) {
+	cfg := Config{
+		Name: strings.ToLower(strings.ReplaceAll(m.Name, "-", "")) + "-small",
+		Seed: seed,
+	}
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case LSTM:
+			if cfg.Input == 0 {
+				cfg.Input = scaleDim(l.X)
+			}
+			cfg.Hidden = append(cfg.Hidden, scaleDim(l.H))
+		case FC:
+			// Last FC wins: DS2 fc_out, RNN-T joint_fc2, GNMT projection.
+			if l.M <= 64 {
+				cfg.Output = l.M
+			} else if cfg.Output = scaleDim(l.M); cfg.Output > 256 {
+				cfg.Output = 256
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("models: deriving serving config from %s: %w", m.Name, err)
+	}
+	return cfg, nil
+}
+
+// DS2Small is the serving-scale DeepSpeech2: six LSTM layers and the
+// 29-character output head.
+func DS2Small() Config {
+	c, err := ServingConfig(DS2(), 7001)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RNNTSmall is the serving-scale RNN-T stack (encoder + prediction
+// layers flattened into one feed-forward stack, joint output head).
+func RNNTSmall() Config {
+	c, err := ServingConfig(RNNT(), 7002)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// GNMTSmall is the serving-scale GNMT stack (16 LSTM layers, clamped
+// vocabulary projection).
+func GNMTSmall() Config {
+	c, err := ServingConfig(GNMT(), 7003)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ServingConfigs returns every predefined serving config.
+func ServingConfigs() []Config {
+	return []Config{DS2Small(), RNNTSmall(), GNMTSmall()}
+}
+
+// ServingConfigByName resolves a predefined serving config.
+func ServingConfigByName(name string) (Config, bool) {
+	for _, c := range ServingConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

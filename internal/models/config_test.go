@@ -1,0 +1,70 @@
+package models
+
+import "testing"
+
+func TestServingConfigsValid(t *testing.T) {
+	for _, c := range ServingConfigs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if c.WeightBytes() <= 0 {
+			t.Errorf("%s: nonpositive weight footprint", c.Name)
+		}
+	}
+}
+
+// TestServingConfigDimensions pins the derived shapes: layer counts must
+// match the source models' LSTM stacks, widths must be SIMD-block
+// multiples, and the output heads must carry the published logit counts
+// (clamped for the GNMT vocabulary).
+func TestServingConfigDimensions(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		layers int
+		output int
+	}{
+		{DS2Small(), 6, 29},
+		{RNNTSmall(), 7, 29},
+		{GNMTSmall(), 16, 256},
+	}
+	for _, c := range cases {
+		if got := len(c.cfg.Hidden); got != c.layers {
+			t.Errorf("%s: %d LSTM layers, want %d", c.cfg.Name, got, c.layers)
+		}
+		if c.cfg.Output != c.output {
+			t.Errorf("%s: output %d, want %d", c.cfg.Name, c.cfg.Output, c.output)
+		}
+		if c.cfg.Input%16 != 0 {
+			t.Errorf("%s: input %d not a block multiple", c.cfg.Name, c.cfg.Input)
+		}
+		for i, h := range c.cfg.Hidden {
+			if h%16 != 0 {
+				t.Errorf("%s: hidden[%d] = %d not a block multiple", c.cfg.Name, i, h)
+			}
+		}
+	}
+}
+
+func TestServingConfigByName(t *testing.T) {
+	if _, ok := ServingConfigByName("ds2-small"); !ok {
+		t.Error("ds2-small not resolvable")
+	}
+	if _, ok := ServingConfigByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Name: "", Input: 16, Hidden: []int{16}, Output: 4},
+		{Name: "x", Input: 0, Hidden: []int{16}, Output: 4},
+		{Name: "x", Input: 16, Hidden: nil, Output: 4},
+		{Name: "x", Input: 16, Hidden: []int{16, 0}, Output: 4},
+		{Name: "x", Input: 16, Hidden: []int{16}, Output: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

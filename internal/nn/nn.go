@@ -1,0 +1,108 @@
+// Package nn is the model-serving subsystem: it compiles a
+// models.Config (the serving-scale DS2 / RNN-T / GNMT stacks) into a
+// resident execution plan on a simulated PIM shard and steps whole
+// sequences through it.
+//
+// The pipeline has three pieces:
+//
+//   - Compile builds the single-timestep tensor graph (tensor.BuildLSTMStep
+//     per layer plus the output projection), topologically schedules it,
+//     and assigns the paper's placement split: GEMV-shaped ops on PIM,
+//     eltwise/activation gate math on the host.
+//   - Load lays every MatVec layer's weights out once per shard through
+//     the driver free-list (blas.LoadGemv, replicated across channels)
+//     and reserves device rows for the recurrent state, which stays
+//     resident across timesteps — between steps, h/c never round-trip
+//     through the serving tier.
+//   - StepSlots advances one timestep for a sparse slot map (slot =
+//     pseudo channel, the continuous-batching unit): each layer runs its
+//     Wx and Wh GEMVs as batched PIM kernels across every occupied slot,
+//     then the host gate math — composed from exactly the tensor graph's
+//     primitive semantics, so a host session over the same graph (with
+//     Session.MatVecGRF set) reproduces served outputs bit for bit.
+//
+// That bit-exactness is the correctness contract: Plan.HostOracle is the
+// pure-host reference the serving layer and load generator verify full
+// multi-step sequences against.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/models"
+)
+
+// Weights holds a config's deterministically generated parameters: one
+// blas.LSTMWeights per layer and the output projection matrix. The repo
+// has no trained checkpoints; serving exercises the system, and the
+// generator is shared by server and verifier so outputs stay checkable.
+type Weights struct {
+	Cfg    models.Config
+	Layers []blas.LSTMWeights
+	WOut   fp16.Vector // Cfg.Output x Cfg.Hidden[last], row-major
+}
+
+// GenWeights generates cfg's weights from its seed. Magnitudes are kept
+// small (N(0, 0.25) weights, N(0, 0.1) biases) so FP16 accumulations
+// over the widest layer stay far from overflow.
+func GenWeights(cfg models.Config) (*Weights, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := func(n int, scale float64) fp16.Vector {
+		v := fp16.NewVector(n)
+		for i := range v {
+			v[i] = fp16.FromFloat32(float32(rng.NormFloat64() * scale))
+		}
+		return v
+	}
+	w := &Weights{Cfg: cfg}
+	in := cfg.Input
+	for _, h := range cfg.Hidden {
+		w.Layers = append(w.Layers, blas.LSTMWeights{
+			X:  in,
+			H:  h,
+			Wx: gen(4*h*in, 0.25),
+			Wh: gen(4*h*h, 0.25),
+			B:  gen(4*h, 0.1),
+		})
+		in = h
+	}
+	w.WOut = gen(cfg.Output*in, 0.25)
+	return w, nil
+}
+
+// WeightBytes is the FP16 footprint of every generated parameter.
+func (w *Weights) WeightBytes() int64 { return w.Cfg.WeightBytes() }
+
+// lastHidden is the width feeding the output projection.
+func (w *Weights) lastHidden() int { return w.Cfg.Hidden[len(w.Cfg.Hidden)-1] }
+
+// Argmax returns the index of the largest logit (first on ties) — the
+// EOS-retirement decision shared by the serving stepper and the oracle,
+// so both retire a sequence at the identical step.
+func Argmax(v fp16.Vector) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bestV := 0, v[0].Float32()
+	for i := 1; i < len(v); i++ {
+		if f := v[i].Float32(); f > bestV {
+			best, bestV = i, f
+		}
+	}
+	return best
+}
+
+// checkFrame validates one input frame against the config.
+func checkFrame(cfg models.Config, t int, x fp16.Vector) error {
+	if len(x) != cfg.Input {
+		return fmt.Errorf("nn: frame %d has %d elements, model %s takes %d",
+			t, len(x), cfg.Name, cfg.Input)
+	}
+	return nil
+}

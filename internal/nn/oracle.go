@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/tensor"
+)
+
+// HostOracle runs a full sequence through the compiled graph on a pure
+// host session, with MatVec nodes accumulating in the device's exact
+// order (grf = blas.GRFDepth of the target runtime). It returns the
+// logits of every step. Because it interprets the same graph the device
+// executor was compiled from, its outputs are the bit-exact reference
+// for StepSlots — the correctness contract pimload and the smoke tests
+// verify end to end.
+func (p *Plan) HostOracle(frames []fp16.Vector, grf int) ([]fp16.Vector, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("nn: oracle needs at least one frame")
+	}
+	if grf <= 0 {
+		return nil, fmt.Errorf("nn: oracle GRF depth %d", grf)
+	}
+	L := p.Layers()
+	h := make([]fp16.Vector, L)
+	c := make([]fp16.Vector, L)
+	for l, lw := range p.W.Layers {
+		h[l] = fp16.NewVector(lw.H)
+		c[l] = fp16.NewVector(lw.H)
+	}
+
+	outs := []*tensor.Node{p.logits}
+	for l := 0; l < L; l++ {
+		outs = append(outs, p.hOut[l], p.cOut[l])
+	}
+
+	sess := tensor.NewHostSession()
+	sess.MatVecGRF = grf
+	var logits []fp16.Vector
+	for t, x := range frames {
+		if err := checkFrame(p.Cfg, t, x); err != nil {
+			return nil, err
+		}
+		feeds := map[string]*tensor.Tensor{
+			"x": {Shape: []int{len(x)}, Data: x},
+		}
+		for l := 0; l < L; l++ {
+			feeds[fmt.Sprintf("h%d", l)] = &tensor.Tensor{Shape: []int{len(h[l])}, Data: h[l]}
+			feeds[fmt.Sprintf("c%d", l)] = &tensor.Tensor{Shape: []int{len(c[l])}, Data: c[l]}
+		}
+		res, err := sess.Run(feeds, outs...)
+		if err != nil {
+			return nil, fmt.Errorf("nn: oracle step %d: %w", t, err)
+		}
+		logits = append(logits, res[0].Data)
+		for l := 0; l < L; l++ {
+			h[l] = res[1+2*l].Data
+			c[l] = res[2+2*l].Data
+		}
+	}
+	return logits, nil
+}

@@ -1,0 +1,346 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/runtime"
+)
+
+// Resident is a Plan loaded onto one shard: every MatVec layer's weights
+// laid out once through the driver free-list (replicated into each
+// pseudo channel by blas.LoadGemv), plus a reserved row span for the
+// recurrent state. Slot s (= pseudo channel s) holds one in-flight
+// sequence; its h/c persist in the Resident across timesteps, so a
+// sequence costs one input frame in and one logit vector out per step.
+//
+// Like blas.ResidentGemv, methods must not run concurrently on the same
+// Runtime — the serving stepper guarantees that by holding the shard
+// lease for as long as any slot is active.
+type Resident struct {
+	Plan *Plan
+
+	slots     int
+	wx, wh    []*blas.ResidentGemv // per layer
+	out       *blas.ResidentGemv
+	stateBase uint32
+	stateRows int
+
+	// Functional recurrent state, indexed [layer][slot]. The device rows
+	// above reserve the capacity (the row budget /v1/models reports);
+	// the simulator keeps the functional values here because only GEMV
+	// operands stream through the modeled PIM datapath.
+	h, c [][]fp16.Vector
+
+	unloaded bool
+}
+
+// SlotState is one sequence's exported recurrent state — what migrates
+// to another shard's Resident when a step hits a retryable fault.
+type SlotState struct {
+	H, C []fp16.Vector // per layer
+}
+
+// Load lays p's weights out on rt and reserves state rows for one
+// sequence per pseudo channel. Everything allocated is released again if
+// any later layer fails to fit.
+func Load(rt *runtime.Runtime, p *Plan) (*Resident, error) {
+	r := &Resident{Plan: p, slots: rt.NumChannels()}
+	fail := func(err error) (*Resident, error) {
+		for _, g := range r.wx {
+			_ = g.Unload(rt)
+		}
+		for _, g := range r.wh {
+			_ = g.Unload(rt)
+		}
+		if r.out != nil {
+			_ = r.out.Unload(rt)
+		}
+		return nil, err
+	}
+	for l, lw := range p.W.Layers {
+		gx, err := blas.LoadGemv(rt, lw.Wx, 4*lw.H, lw.X)
+		if err != nil {
+			return fail(fmt.Errorf("nn: load %s layer %d Wx: %w", p.Cfg.Name, l, err))
+		}
+		r.wx = append(r.wx, gx)
+		gh, err := blas.LoadGemv(rt, lw.Wh, 4*lw.H, lw.H)
+		if err != nil {
+			return fail(fmt.Errorf("nn: load %s layer %d Wh: %w", p.Cfg.Name, l, err))
+		}
+		r.wh = append(r.wh, gh)
+	}
+	gout, err := blas.LoadGemv(rt, p.W.WOut, p.Cfg.Output, p.W.lastHidden())
+	if err != nil {
+		return fail(fmt.Errorf("nn: load %s output projection: %w", p.Cfg.Name, err))
+	}
+	r.out = gout
+
+	r.stateRows = ceilDiv(r.slots*p.StateBytesPerSlot, rt.Cfg.RowBytes)
+	if r.stateRows < 1 {
+		r.stateRows = 1
+	}
+	base, err := rt.Drv.AllocPIMRows(r.stateRows)
+	if err != nil {
+		return fail(fmt.Errorf("nn: reserve %s state rows: %w", p.Cfg.Name, err))
+	}
+	r.stateBase = base
+
+	r.h = make([][]fp16.Vector, len(p.W.Layers))
+	r.c = make([][]fp16.Vector, len(p.W.Layers))
+	for l, lw := range p.W.Layers {
+		r.h[l] = make([]fp16.Vector, r.slots)
+		r.c[l] = make([]fp16.Vector, r.slots)
+		for s := 0; s < r.slots; s++ {
+			r.h[l][s] = fp16.NewVector(lw.H)
+			r.c[l][s] = fp16.NewVector(lw.H)
+		}
+	}
+	return r, nil
+}
+
+// Slots returns the number of sequence slots (one per pseudo channel).
+func (r *Resident) Slots() int { return r.slots }
+
+// WeightRows returns the PIM rows the weight layouts occupy (per bank).
+func (r *Resident) WeightRows() int {
+	n := 0
+	for l := range r.wx {
+		n += r.wx[l].Rows() + r.wh[l].Rows()
+	}
+	return n + r.out.Rows()
+}
+
+// StateRows returns the rows reserved for recurrent state.
+func (r *Resident) StateRows() int { return r.stateRows }
+
+// ResidentBytes is the footprint /v1/models reports: one weight replica
+// plus the state capacity for every slot.
+func (r *Resident) ResidentBytes() int64 {
+	return r.Plan.WeightBytes() + int64(r.slots*r.Plan.StateBytesPerSlot)
+}
+
+// OwnsRow reports whether a device row belongs to this model's resident
+// spans — how the serving layer maps an uncorrectable error's row back
+// to the model that must relocate.
+func (r *Resident) OwnsRow(row uint32) bool {
+	span := func(base uint32, n int) bool {
+		return row >= base && row < base+uint32(n)
+	}
+	for l := range r.wx {
+		if b, n := r.wx[l].RowRange(); span(b, n) {
+			return true
+		}
+		if b, n := r.wh[l].RowRange(); span(b, n) {
+			return true
+		}
+	}
+	if b, n := r.out.RowRange(); span(b, n) {
+		return true
+	}
+	return span(r.stateBase, r.stateRows)
+}
+
+// ResetSlot zeroes slot s's recurrent state, making it ready for a new
+// sequence.
+func (r *Resident) ResetSlot(s int) error {
+	if err := r.checkSlot(s); err != nil {
+		return err
+	}
+	for l := range r.h {
+		for i := range r.h[l][s] {
+			r.h[l][s][i] = fp16.Zero
+		}
+		for i := range r.c[l][s] {
+			r.c[l][s][i] = fp16.Zero
+		}
+	}
+	return nil
+}
+
+// ExportState deep-copies slot s's recurrent state.
+func (r *Resident) ExportState(s int) (*SlotState, error) {
+	if err := r.checkSlot(s); err != nil {
+		return nil, err
+	}
+	st := &SlotState{}
+	for l := range r.h {
+		hc := fp16.NewVector(len(r.h[l][s]))
+		copy(hc, r.h[l][s])
+		cc := fp16.NewVector(len(r.c[l][s]))
+		copy(cc, r.c[l][s])
+		st.H = append(st.H, hc)
+		st.C = append(st.C, cc)
+	}
+	return st, nil
+}
+
+// ImportState installs an exported state into slot s — the receiving end
+// of a mid-sequence shard migration. The state must come from the same
+// Plan (layer count and widths are checked).
+func (r *Resident) ImportState(s int, st *SlotState) error {
+	if err := r.checkSlot(s); err != nil {
+		return err
+	}
+	if st == nil || len(st.H) != len(r.h) || len(st.C) != len(r.c) {
+		return fmt.Errorf("nn: state has %d layers, model %s has %d",
+			len(st.H), r.Plan.Cfg.Name, len(r.h))
+	}
+	for l := range st.H {
+		if len(st.H[l]) != len(r.h[l][s]) || len(st.C[l]) != len(r.c[l][s]) {
+			return fmt.Errorf("nn: state layer %d width %d, model %s wants %d",
+				l, len(st.H[l]), r.Plan.Cfg.Name, len(r.h[l][s]))
+		}
+		copy(r.h[l][s], st.H[l])
+		copy(r.c[l][s], st.C[l])
+	}
+	return nil
+}
+
+// StepSlots advances one timestep for every occupied slot: xs is indexed
+// by slot (nil = idle) and the returned logits align with it. All state
+// updates are staged and committed only after the entire step — every
+// layer's GEMVs and the output projection — succeeds, so a caller that
+// sees an error (say, an uncorrectable fault three layers in) can retry
+// or migrate the step from pristine state without double-applying the
+// recurrence.
+//
+// The math mirrors the tensor graph's primitive semantics op for op
+// (pairwise fp16 adds, float64 activations, fp16 multiplies, PIM-order
+// GEMV accumulation), which is what keeps StepSlots bit-identical to
+// Plan.HostOracle.
+func (r *Resident) StepSlots(rt *runtime.Runtime, xs []fp16.Vector) ([]fp16.Vector, blas.KernelStats, error) {
+	if r.unloaded {
+		return nil, blas.KernelStats{}, fmt.Errorf("nn: StepSlots on an unloaded model")
+	}
+	if len(xs) > r.slots {
+		return nil, blas.KernelStats{}, fmt.Errorf("nn: %d slots, model loaded with %d", len(xs), r.slots)
+	}
+	occupied := 0
+	for s, x := range xs {
+		if x == nil {
+			continue
+		}
+		occupied++
+		if err := checkFrame(r.Plan.Cfg, s, x); err != nil {
+			return nil, blas.KernelStats{}, err
+		}
+	}
+	if occupied == 0 {
+		return nil, blas.KernelStats{}, fmt.Errorf("nn: step with no occupied slots")
+	}
+
+	var total blas.KernelStats
+	add := func(ks blas.KernelStats) {
+		total.Cycles += ks.Cycles // sequential kernels: latencies add
+		total.Triggers += ks.Triggers
+		total.Fences += ks.Fences
+	}
+
+	L := len(r.Plan.W.Layers)
+	newH := make([][]fp16.Vector, L)
+	newC := make([][]fp16.Vector, L)
+	cur := make([]fp16.Vector, len(xs))
+	copy(cur, xs)
+
+	for l, lw := range r.Plan.W.Layers {
+		// Previous hidden state, masked to the occupied slots.
+		hIn := make([]fp16.Vector, len(xs))
+		for s := range xs {
+			if xs[s] != nil {
+				hIn[s] = r.h[l][s]
+			}
+		}
+		zx, ks, err := r.wx[l].RunSlots(rt, cur)
+		if err != nil {
+			return nil, total, fmt.Errorf("nn: %s layer %d Wx: %w", r.Plan.Cfg.Name, l, err)
+		}
+		add(ks)
+		zh, ks, err := r.wh[l].RunSlots(rt, hIn)
+		if err != nil {
+			return nil, total, fmt.Errorf("nn: %s layer %d Wh: %w", r.Plan.Cfg.Name, l, err)
+		}
+		add(ks)
+
+		H := lw.H
+		newH[l] = make([]fp16.Vector, len(xs))
+		newC[l] = make([]fp16.Vector, len(xs))
+		for s := range xs {
+			if xs[s] == nil {
+				continue
+			}
+			z := fp16.NewVector(4 * H)
+			fp16.AddVec(z, zx[s], zh[s])
+			fp16.AddVec(z, z, lw.B)
+			hN := fp16.NewVector(H)
+			cN := fp16.NewVector(H)
+			for j := 0; j < H; j++ {
+				i := sigmoid(z[j])
+				f := sigmoid(z[H+j])
+				g := tanhF(z[2*H+j])
+				o := sigmoid(z[3*H+j])
+				cN[j] = fp16.Add(fp16.Mul(f, r.c[l][s][j]), fp16.Mul(i, g))
+				hN[j] = fp16.Mul(o, tanhF(cN[j]))
+			}
+			newH[l][s] = hN
+			newC[l][s] = cN
+			cur[s] = hN
+		}
+	}
+
+	logits, ks, err := r.out.RunSlots(rt, cur)
+	if err != nil {
+		return nil, total, fmt.Errorf("nn: %s output projection: %w", r.Plan.Cfg.Name, err)
+	}
+	add(ks)
+
+	// The whole step succeeded: commit the staged recurrence.
+	for l := 0; l < L; l++ {
+		for s := range xs {
+			if xs[s] == nil {
+				continue
+			}
+			r.h[l][s] = newH[l][s]
+			r.c[l][s] = newC[l][s]
+		}
+	}
+	return logits, total, nil
+}
+
+// Unload releases every weight layout and the state rows. The Resident
+// is dead afterwards; the first error wins but all spans are freed.
+func (r *Resident) Unload(rt *runtime.Runtime) error {
+	if r.unloaded {
+		return fmt.Errorf("nn: Resident already unloaded")
+	}
+	r.unloaded = true
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for l := range r.wx {
+		keep(r.wx[l].Unload(rt))
+		keep(r.wh[l].Unload(rt))
+	}
+	keep(r.out.Unload(rt))
+	keep(rt.Drv.FreePIMRows(r.stateBase))
+	return first
+}
+
+func (r *Resident) checkSlot(s int) error {
+	if s < 0 || s >= r.slots {
+		return fmt.Errorf("nn: slot %d out of range [0,%d)", s, r.slots)
+	}
+	return nil
+}
+
+// sigmoid and tanhF match tensor.OpSigmoid/OpTanh exactly: per-element
+// float64 math rounded once back to fp16.
+func sigmoid(v fp16.F16) fp16.F16 { return fp16.FromFloat64(1 / (1 + math.Exp(-v.Float64()))) }
+func tanhF(v fp16.F16) fp16.F16   { return fp16.FromFloat64(math.Tanh(v.Float64())) }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

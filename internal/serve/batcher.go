@@ -136,13 +136,14 @@ func (f *flushTimer) disarm() {
 }
 
 // collect gathers up to maxBatch-1 followers behind first, waiting at
-// most BatchWait for stragglers. A closed queue flushes immediately.
+// most the model's straggler deadline (ModelSpec.BatchWait, falling back
+// to Config.BatchWait). A closed queue flushes immediately.
 func (s *Server) collect(m *model, first *request, ft *flushTimer) []*request {
 	batch := []*request{first}
 	if m.maxBatch <= 1 {
 		return batch
 	}
-	tick := ft.arm(s.newTimer, s.cfg.BatchWait)
+	tick := ft.arm(s.newTimer, m.wait)
 	defer ft.disarm()
 	for len(batch) < m.maxBatch {
 		select {

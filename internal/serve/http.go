@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	"pimsim/internal/fp16"
@@ -12,13 +13,20 @@ import (
 )
 
 // InferRequest is the POST /v1/infer body. Exactly one of Input (a single
-// K-element vector) or Inputs (a batch of them) must be set. TimeoutMs
-// can only tighten the server's RequestTimeout, never extend it.
+// K-element vector), Inputs (a batch of them), or Frames (a sequence for
+// a continuously batched sequence model) must be set. TimeoutMs can only
+// tighten the server's RequestTimeout, never extend it.
 type InferRequest struct {
 	Model     string      `json:"model"`
 	Input     []float64   `json:"input,omitempty"`
 	Inputs    [][]float64 `json:"inputs,omitempty"`
 	TimeoutMs int         `json:"timeout_ms,omitempty"`
+
+	// Sequence form: Frames is the ordered input-frame list; EOS, when
+	// set, names the output class whose argmax retires the sequence
+	// before its frames run out.
+	Frames [][]float64 `json:"frames,omitempty"`
+	EOS    *int        `json:"eos,omitempty"`
 }
 
 // InferResponse is the success body. Single-input requests fill the
@@ -41,6 +49,17 @@ type InferResponse struct {
 	KernelCycled []int64   `json:"kernel_cycles_each,omitempty"`
 	KernelNsEach []float64 `json:"kernel_ns_each,omitempty"`
 	QueueUsEach  []int64   `json:"queue_us_each,omitempty"`
+
+	// Sequence responses: per-step logits, executed step count (short of
+	// len(frames) when EOS retired the sequence), the step index that hit
+	// EOS, attributed device time, and how many times the sequence
+	// migrated shards mid-flight.
+	Steps        int         `json:"steps,omitempty"`
+	StepOutputs  [][]float64 `json:"step_outputs,omitempty"`
+	EOSStep      *int        `json:"eos_step,omitempty"`
+	DeviceCycles int64       `json:"device_cycles,omitempty"`
+	DeviceNs     float64     `json:"device_ns,omitempty"`
+	Migrations   int         `json:"migrations,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 reply.
@@ -54,6 +73,7 @@ type ErrorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
@@ -136,13 +156,24 @@ func (s *Server) doInfer(w http.ResponseWriter, r *http.Request, start time.Time
 	}
 	o.model = req.Model
 
+	forms := 0
+	for _, set := range []bool{req.Input != nil, req.Inputs != nil, req.Frames != nil} {
+		if set {
+			forms++
+		}
+	}
+	if forms > 1 {
+		o.status, o.err = http.StatusBadRequest, fmt.Errorf("set exactly one of input, inputs or frames")
+		s.fail(w, start, o.status, o.err)
+		return o
+	}
+	if req.Frames != nil {
+		return s.doInferSeq(w, r, &req, start, id, root, o)
+	}
+
 	var inputs [][]float64
 	single := false
 	switch {
-	case req.Input != nil && req.Inputs != nil:
-		o.status, o.err = http.StatusBadRequest, fmt.Errorf("set exactly one of input or inputs")
-		s.fail(w, start, o.status, o.err)
-		return o
 	case req.Input != nil:
 		inputs, single = [][]float64{req.Input}, true
 	case len(req.Inputs) > 0:
@@ -226,12 +257,149 @@ func (s *Server) doInfer(w http.ResponseWriter, r *http.Request, start time.Time
 	return o
 }
 
+// doInferSeq is the sequence branch of doInfer: convert the frames,
+// admit into the model's continuous-batching queue, and wait for the
+// stepper's terminal response.
+func (s *Server) doInferSeq(w http.ResponseWriter, r *http.Request, req *InferRequest, start time.Time, id string, root obs.SpanHandle, o inferOutcome) inferOutcome {
+	if len(req.Frames) == 0 {
+		o.status, o.err = http.StatusBadRequest, fmt.Errorf("empty frames")
+		s.fail(w, start, o.status, o.err)
+		return o
+	}
+	o.inputs = len(req.Frames)
+	frames := make([]fp16.Vector, len(req.Frames))
+	for t, f := range req.Frames {
+		x := fp16.NewVector(len(f))
+		for i, v := range f {
+			x[i] = fp16.FromFloat32(float32(v))
+		}
+		frames[t] = x
+	}
+	eos := -1
+	if req.EOS != nil {
+		if *req.EOS < 0 {
+			o.status, o.err = http.StatusBadRequest, fmt.Errorf("negative eos class")
+			s.fail(w, start, o.status, o.err)
+			return o
+		}
+		eos = *req.EOS
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	q, status, err := s.enqueueSeq(ctx, req.Model, frames, eos, start, id, root)
+	if err != nil {
+		o.status, o.err = status, err
+		s.fail(w, start, o.status, o.err)
+		return o
+	}
+	var rp seqResponse
+	select {
+	case rp = <-q.resp:
+	case <-ctx.Done():
+		rp = seqResponse{status: http.StatusGatewayTimeout, err: ctx.Err()}
+	}
+	o.shard, o.queueUs = rp.shard, rp.queueUs
+	if rp.status != http.StatusOK {
+		o.status, o.err = rp.status, rp.err
+		s.fail(w, start, o.status, o.err)
+		return o
+	}
+
+	out := InferResponse{
+		Model:        req.Model,
+		Steps:        len(rp.steps),
+		Shard:        rp.shard,
+		QueueUs:      rp.queueUs,
+		DeviceCycles: rp.cycles,
+		DeviceNs:     rp.ns,
+		Migrations:   rp.migrations,
+	}
+	for _, step := range rp.steps {
+		out.StepOutputs = append(out.StepOutputs, toF64(step))
+	}
+	if n := len(rp.steps); n > 0 {
+		out.Output = toF64(rp.steps[n-1]) // final-step logits, for convenience
+	}
+	if rp.eosAt >= 0 {
+		e := rp.eosAt
+		out.EOSStep = &e
+	}
+	s.respond(w, start, http.StatusOK, out)
+	return o
+}
+
 func toF64(y fp16.Vector) []float64 {
 	out := make([]float64, len(y))
 	for i, v := range y {
 		out[i] = float64(v.Float32())
 	}
 	return out
+}
+
+// handleModels is GET /v1/models: the servable inventory — every GEMV
+// and sequence model with its shape, resident footprint, and host/PIM
+// placement split — plus the shard-0 PIM row budget (live, free,
+// quarantined; every shard holds the same resident layouts).
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, time.Now(), http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	type modelInfo struct {
+		Name          string         `json:"name"`
+		Type          string         `json:"type"` // "gemv" or "sequence"
+		M             int            `json:"m,omitempty"`
+		K             int            `json:"k,omitempty"`
+		Input         int            `json:"input,omitempty"`
+		Hidden        []int          `json:"hidden,omitempty"`
+		Output        int            `json:"output,omitempty"`
+		Layers        int            `json:"layers,omitempty"`
+		ResidentBytes int64          `json:"resident_bytes"`
+		StateBytes    int            `json:"state_bytes_per_slot,omitempty"`
+		Slots         int            `json:"slots,omitempty"`
+		BatchWaitNs   int64          `json:"batch_wait_ns,omitempty"`
+		Placement     map[string]int `json:"placement"`
+	}
+	list := make([]modelInfo, 0, len(s.mods)+len(s.seqMods))
+	for name, m := range s.mods {
+		list = append(list, modelInfo{
+			Name: name, Type: "gemv",
+			M: m.spec.M, K: m.spec.K,
+			ResidentBytes: 2 * int64(m.spec.M) * int64(m.spec.K),
+			BatchWaitNs:   m.wait.Nanoseconds(),
+			Placement:     map[string]int{"pim": 1, "host": 0},
+		})
+	}
+	for name, m := range s.seqMods {
+		res := s.shards[0].seq[name]
+		list = append(list, modelInfo{
+			Name: name, Type: "sequence",
+			Input: m.cfg.Input, Hidden: m.cfg.Hidden, Output: m.cfg.Output,
+			Layers:        m.plan.Layers(),
+			ResidentBytes: res.ResidentBytes(),
+			StateBytes:    m.plan.StateBytesPerSlot,
+			Slots:         res.Slots(),
+			Placement:     map[string]int{"pim": m.plan.PIMOps, "host": m.plan.HostOps},
+		})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	drv := s.shards[0].rt.Drv
+	s.respond(w, time.Now(), http.StatusOK, map[string]any{
+		"models": list,
+		"rows": map[string]int{
+			"live":        drv.PIMRowsLive(),
+			"free":        drv.PIMRowsFree(),
+			"quarantined": drv.PIMRowsQuarantined(),
+		},
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pimsim/internal/blas"
+	"pimsim/internal/fp16"
+	"pimsim/internal/models"
+	"pimsim/internal/nn"
+	"pimsim/internal/obs"
+)
+
+// Continuous batching for sequence models.
+//
+// The flush-on-size batcher (batcher.go) is the wrong shape for
+// recurrent models: a sequence is not one kernel launch but T dependent
+// timesteps, and forming fixed batches would force every member to enter
+// and leave together — a long sequence would hold short ones hostage
+// (head-of-line blocking) and a short one would strand its channel idle
+// for the rest of the batch. The stepper instead runs a *step loop*: it
+// leases a shard while at least one sequence is in flight, assigns each
+// sequence a slot (= pseudo channel; its recurrent state lives in that
+// channel's nn.Resident), and between timesteps admits newly arrived
+// sequences into free slots and retires finished ones (frames exhausted
+// or EOS argmax). Device occupancy tracks offered load step by step
+// instead of batch boundary by batch boundary.
+//
+// Fault handling preserves the serving contract (no accepted request
+// lost, no wrong data): StepSlots stages its state commit, so a step
+// that dies mid-layer leaves every slot's recurrence pristine. On a
+// retryable fault the stepper exports all live slot states, hands the
+// shard to the health machine, leases a replacement, imports the states
+// into the same slot indices, and re-executes the step — a mid-sequence
+// migration the client only sees as latency (and a migrations count in
+// the response).
+
+// seqModel is one continuously batched sequence workload.
+type seqModel struct {
+	cfg   models.Config
+	plan  *nn.Plan
+	queue chan *seqRequest
+	admit int // max concurrently active slots (Config.SeqAdmit)
+}
+
+// seqRequest is one admitted sequence on its way through the step loop.
+type seqRequest struct {
+	ctx    context.Context
+	frames []fp16.Vector
+	eos    int // class index that retires the sequence early; -1 disables
+	enq    time.Time
+	resp   chan seqResponse
+
+	id    string
+	root  obs.SpanHandle
+	qspan obs.SpanHandle
+}
+
+// seqResponse is the terminal outcome of one sequence request.
+type seqResponse struct {
+	steps      []fp16.Vector // logits per executed step
+	err        error
+	status     int
+	shard      int
+	cycles     int64   // device cycles attributed to this sequence (share of each step)
+	ns         float64 // the same, in nanoseconds
+	queueUs    int64
+	migrations int
+	eosAt      int // step index that hit EOS, -1 otherwise
+}
+
+// seqSlot is one occupied slot of the running step loop.
+type seqSlot struct {
+	req        *seqRequest
+	admitted   time.Time // when the sequence entered a slot (queue wait ends)
+	pos        int       // frames consumed
+	out        []fp16.Vector
+	cycles     int64
+	migrations int
+}
+
+// enqueueSeq admits one sequence into its model's queue, mirroring
+// enqueue's taxonomy: 404 unknown model, 400 wrong shape, 429 full
+// queue, 503 draining or no healthy shards.
+func (s *Server) enqueueSeq(ctx context.Context, name string, frames []fp16.Vector, eos int, enq time.Time, id string, root obs.SpanHandle) (*seqRequest, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server draining")
+	}
+	m := s.seqMods[name]
+	if m == nil {
+		if s.mods[name] != nil {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("model %q is a gemv model: post input, not frames", name)
+		}
+		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+	}
+	if len(frames) > s.cfg.MaxSeqLen {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("sequence of %d frames exceeds the %d-frame cap", len(frames), s.cfg.MaxSeqLen)
+	}
+	for t, f := range frames {
+		if len(f) != m.cfg.Input {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("model %s takes %d-element frames, frame %d has %d", name, m.cfg.Input, t, len(f))
+		}
+	}
+	if eos >= m.cfg.Output {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("eos class %d out of range (model %s has %d outputs)", eos, name, m.cfg.Output)
+	}
+	healthy := int(s.healthy.Load())
+	if healthy <= 0 {
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("no healthy shards (probation probes running)")
+	}
+	req := &seqRequest{ctx: ctx, frames: frames, eos: eos, enq: enq,
+		resp: make(chan seqResponse, 1), id: id, root: root}
+	req.qspan = root.Child("queue")
+	select {
+	case m.queue <- req:
+		s.seqAdmitted.Inc(0)
+		s.queueDepth.Add(0, 1)
+		return req, http.StatusOK, nil
+	default:
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("model %s admission queue full (%d deep)", name, cap(m.queue))
+	}
+}
+
+// stepper is the per-sequence-model pipeline stage: each blocking
+// receive starts one continuous-batching episode (runSeq), which owns a
+// shard until every admitted sequence has retired. Exits when the queue
+// is closed and drained — the zero-drop contract, same as batcher.
+func (s *Server) stepper(m *seqModel) {
+	defer s.wg.Done()
+	for {
+		first, ok := <-m.queue
+		if !ok {
+			return
+		}
+		s.queueDepth.Add(0, -1)
+		first.qspan.End()
+		s.runSeq(m, first)
+	}
+}
+
+// runSeq drives the step loop for one episode.
+func (s *Server) runSeq(m *seqModel, first *seqRequest) {
+	sh := s.lease()
+	if sh == nil {
+		first.resp <- seqResponse{status: http.StatusServiceUnavailable, err: errDrainNoShards}
+		return
+	}
+	r := sh.seq[m.cfg.Name]
+	slots := make([]*seqSlot, r.Slots())
+	active := 0
+
+	reply := func(i int, resp seqResponse) {
+		sl := slots[i]
+		resp.shard = sh.id
+		resp.cycles = sl.cycles
+		resp.ns = sh.rt.Cfg.Timing.CyclesToNs(sl.cycles)
+		resp.migrations = sl.migrations
+		resp.queueUs = sl.admitted.Sub(sl.req.enq).Microseconds()
+		sl.req.resp <- resp
+		slots[i] = nil
+		active--
+	}
+
+	admitOne := func(req *seqRequest) {
+		if req.ctx.Err() != nil {
+			req.resp <- seqResponse{status: http.StatusGatewayTimeout, err: req.ctx.Err(), eosAt: -1}
+			return
+		}
+		for i := range slots {
+			if slots[i] != nil {
+				continue
+			}
+			_ = r.ResetSlot(i)
+			slots[i] = &seqSlot{req: req, admitted: time.Now()}
+			active++
+			s.queueWait.Observe(0, time.Since(req.enq).Microseconds())
+			return
+		}
+	}
+
+	pending := first
+	stepRetries := 0
+	for {
+		// Admission window: between timesteps, fill free slots (bounded by
+		// SeqAdmit) from the queue without blocking the running loop.
+		for active < m.admit {
+			var req *seqRequest
+			if pending != nil {
+				req, pending = pending, nil
+			} else {
+				select {
+				case q, ok := <-m.queue:
+					if !ok {
+						q = nil // closed: stop admitting, finish what's here
+					} else {
+						s.queueDepth.Add(0, -1)
+						q.qspan.End()
+					}
+					req = q
+				default:
+				}
+				if req == nil {
+					break
+				}
+			}
+			admitOne(req)
+		}
+		// Per-step deadline: a sequence whose context expired mid-flight is
+		// answered 504 now; its remaining steps never touch the device.
+		for i, sl := range slots {
+			if sl != nil && sl.req.ctx.Err() != nil {
+				reply(i, seqResponse{status: http.StatusGatewayTimeout, err: sl.req.ctx.Err(),
+					steps: sl.out, eosAt: -1})
+			}
+		}
+		if active == 0 {
+			break
+		}
+
+		xs := make([]fp16.Vector, len(slots))
+		for i, sl := range slots {
+			if sl != nil {
+				xs[i] = sl.req.frames[sl.pos]
+			}
+		}
+		logits, ks, err := s.attemptStep(m, sh, r, xs)
+		if err != nil {
+			sh, r = s.migrateSeq(m, sh, slots, &active, err, stepRetries)
+			if sh == nil {
+				return // every slot was answered by migrateSeq
+			}
+			stepRetries++
+			continue // re-execute the step: the staged commit kept state pristine
+		}
+		stepRetries = 0
+
+		s.seqSteps.Inc(0)
+		s.deviceCycles.Add(0, ks.Cycles)
+		s.seqStepCyc.Observe(0, ks.Cycles)
+		s.seqOccupancy.Observe(0, int64(active))
+		share := ks.Cycles / int64(active)
+		for i, sl := range slots {
+			if sl == nil {
+				continue
+			}
+			sl.out = append(sl.out, logits[i])
+			sl.cycles += share
+			sl.pos++
+			eosHit := sl.req.eos >= 0 && nn.Argmax(logits[i]) == sl.req.eos
+			if eosHit || sl.pos == len(sl.req.frames) {
+				eosAt := -1
+				if eosHit {
+					eosAt = sl.pos - 1
+					s.seqEOS.Inc(0)
+				}
+				s.seqCompleted.Inc(0)
+				s.served.Inc(0)
+				reply(i, seqResponse{steps: sl.out, status: http.StatusOK, eosAt: eosAt})
+			}
+		}
+	}
+	s.pool <- sh
+}
+
+// attemptStep runs one timestep on the leased shard, arming the fault
+// injector and folding ECC counters exactly like the batch path.
+func (s *Server) attemptStep(m *seqModel, sh *shard, r *nn.Resident, xs []fp16.Vector) ([]fp16.Vector, blas.KernelStats, error) {
+	if sh.inj != nil {
+		if err := sh.inj.BatchErr(); err != nil {
+			return nil, blas.KernelStats{}, err
+		}
+	}
+	logits, ks, err := r.StepSlots(sh.rt, xs)
+	s.collectShardECC(sh)
+	return logits, ks, err
+}
+
+// migrateSeq handles a failed step: dispose of the faulted shard via the
+// health machine, and — if the error is retryable and the retry budget
+// holds — move every live sequence's recurrent state to a replacement
+// shard so the step can re-execute there. Returns the new shard and
+// resident, or (nil, nil) after answering every live slot with a
+// terminal error. Either way the old shard has been handed away.
+func (s *Server) migrateSeq(m *seqModel, sh *shard, slots []*seqSlot, active *int, stepErr error, attempt int) (*shard, *nn.Resident) {
+	fail := func(status int, err error) {
+		for i, sl := range slots {
+			if sl == nil {
+				continue
+			}
+			sl.req.resp <- seqResponse{status: status, err: err, steps: sl.out,
+				shard: sh.id, cycles: sl.cycles, migrations: sl.migrations, eosAt: -1}
+			slots[i] = nil
+			*active -= 1
+		}
+	}
+	canRetry := retryable(stepErr) && attempt < s.cfg.MaxRetries
+	var states map[int]*nn.SlotState
+	if canRetry {
+		// Export before the shard leaves our hands: after noteFailure the
+		// prober may own it.
+		r := sh.seq[m.cfg.Name]
+		states = make(map[int]*nn.SlotState, *active)
+		for i, sl := range slots {
+			if sl == nil {
+				continue
+			}
+			st, err := r.ExportState(i)
+			if err != nil {
+				canRetry = false
+				break
+			}
+			states[i] = st
+		}
+	}
+	failedShard := sh.id
+	s.recoverShard(sh)
+	s.noteFailure(sh, stepErr)
+	if !canRetry {
+		fail(statusFor(stepErr), stepErr)
+		return nil, nil
+	}
+	s.retries.Inc(0)
+	if s.tracer != nil {
+		for _, sl := range slots {
+			if sl != nil {
+				s.tracer.Event(sl.req.id, "migrate",
+					fmt.Sprintf("attempt=%d shard=%d err=%v", attempt, failedShard, stepErr))
+			}
+		}
+	}
+	time.Sleep(s.backoff(attempt))
+	next := s.leaseRetry()
+	if next == nil {
+		fail(http.StatusServiceUnavailable, stepErr)
+		return nil, nil
+	}
+	r := next.seq[m.cfg.Name]
+	migrated := int64(0)
+	for i, sl := range slots {
+		if sl == nil {
+			continue
+		}
+		_ = r.ResetSlot(i)
+		if err := r.ImportState(i, states[i]); err != nil {
+			// Cannot happen for same-plan residents; fail honestly if it does.
+			s.recoverShard(next)
+			s.noteFailure(next, err)
+			fail(http.StatusInternalServerError, err)
+			return nil, nil
+		}
+		sl.migrations++
+		migrated++
+	}
+	s.seqMigrations.Add(0, migrated)
+	return next, r
+}

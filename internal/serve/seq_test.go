@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pimsim/internal/fault"
+	"pimsim/internal/fp16"
+	"pimsim/internal/models"
+	"pimsim/internal/nn"
+)
+
+// tinySeq is a fast two-layer LSTM stack for sequence-pipeline tests.
+var tinySeq = models.Config{Name: "tinyseq", Input: 16, Hidden: []int{32, 16}, Output: 8, Seed: 42}
+
+// seqOracle computes the expected per-step logits for a frame sequence.
+func seqOracle(t *testing.T, cfg models.Config, frames []fp16.Vector) []fp16.Vector {
+	t.Helper()
+	w, err := nn.GenWeights(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nn.Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.HostOracle(frames, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func seqFrames(seed int64, n, dim int) ([]fp16.Vector, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	f16 := make([]fp16.Vector, n)
+	f64 := make([][]float64, n)
+	for t := range f16 {
+		x := fp16.NewVector(dim)
+		row := make([]float64, dim)
+		for i := range x {
+			x[i] = fp16.FromFloat32(float32(rng.NormFloat64() * 0.5))
+			row[i] = float64(x[i].Float32())
+		}
+		f16[t] = x
+		f64[t] = row
+	}
+	return f16, f64
+}
+
+func seqBody(t *testing.T, model string, frames [][]float64, eos *int) string {
+	t.Helper()
+	b, err := json.Marshal(InferRequest{Model: model, Frames: frames, EOS: eos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func checkSeqResponse(t *testing.T, body []byte, want []fp16.Vector) *InferResponse {
+	t.Helper()
+	var ir InferResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("bad response body: %v: %s", err, body)
+	}
+	if ir.Steps != len(want) || len(ir.StepOutputs) != len(want) {
+		t.Fatalf("steps = %d (%d outputs), want %d", ir.Steps, len(ir.StepOutputs), len(want))
+	}
+	for step := range want {
+		if !outputsMatch(ir.StepOutputs[step], want[step]) {
+			t.Fatalf("step %d output mismatch: got %v, want oracle", step, ir.StepOutputs[step])
+		}
+	}
+	return &ir
+}
+
+// TestSeqInferCorrectness: a full multi-step sequence served over HTTP is
+// bit-exact against the host-session oracle at every step.
+func TestSeqInferCorrectness(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 2, SeqModels: []models.Config{tinySeq}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	f16, f64 := seqFrames(7, 5, tinySeq.Input)
+	resp, body := postInfer(t, ts, seqBody(t, "tinyseq", f64, nil))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	ir := checkSeqResponse(t, body, seqOracle(t, tinySeq, f16))
+	if ir.DeviceCycles <= 0 || ir.DeviceNs <= 0 {
+		t.Errorf("no device time attributed: cycles=%d ns=%f", ir.DeviceCycles, ir.DeviceNs)
+	}
+	if ir.EOSStep != nil {
+		t.Errorf("eos_step set without eos in the request")
+	}
+	if got := s.seqCompleted.Value(); got != 1 {
+		t.Errorf("seq_completed = %d, want 1", got)
+	}
+	if got := s.seqSteps.Value(); got != 5 {
+		t.Errorf("seq_steps = %d, want 5", got)
+	}
+}
+
+// TestSeqContinuousBatching: concurrent sequences of different lengths
+// share the step loop — occupancy exceeds one — and every response stays
+// bit-exact against its own oracle.
+func TestSeqContinuousBatching(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 4, SeqModels: []models.Config{tinySeq}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lengths := []int{9, 4, 7, 5, 6, 3}
+	var wg sync.WaitGroup
+	for i, n := range lengths {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			f16, f64 := seqFrames(int64(100+i), n, tinySeq.Input)
+			resp, body := postInfer(t, ts, seqBody(t, "tinyseq", f64, nil))
+			if resp.StatusCode != 200 {
+				t.Errorf("seq %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			checkSeqResponse(t, body, seqOracle(t, tinySeq, f16))
+		}(i, n)
+	}
+	wg.Wait()
+
+	if got := s.seqCompleted.Value(); got != int64(len(lengths)) {
+		t.Errorf("seq_completed = %d, want %d", got, len(lengths))
+	}
+	// At least one step must have run with >1 active slot, or this was
+	// sequential execution in disguise. (Scheduling is timing-dependent,
+	// so assert via the occupancy histogram's upper buckets.)
+	snap := s.Metrics().Snapshot()
+	occ := snap.Histograms["serve_seq_occupancy"]
+	if occ.Count == 0 {
+		t.Fatal("occupancy histogram empty")
+	}
+	if occ.Quantile(1.0) <= 1 {
+		t.Logf("warning: peak occupancy %.0f — continuous batching never overlapped (timing-dependent)", occ.Quantile(1.0))
+	}
+}
+
+// TestSeqEOSRetirement: a sequence whose argmax hits the EOS class
+// retires early — fewer executed steps than frames, eos_step set.
+func TestSeqEOSRetirement(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 2, SeqModels: []models.Config{tinySeq}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	f16, f64 := seqFrames(21, 12, tinySeq.Input)
+	want := seqOracle(t, tinySeq, f16)
+	// Pick the class the first step's argmax lands on: retirement at step 0.
+	eos := nn.Argmax(want[0])
+	resp, body := postInfer(t, ts, seqBody(t, "tinyseq", f64, &eos))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	ir := checkSeqResponse(t, body, want[:1])
+	if ir.EOSStep == nil || *ir.EOSStep != 0 {
+		t.Errorf("eos_step = %v, want 0", ir.EOSStep)
+	}
+	if got := s.seqEOS.Value(); got != 1 {
+		t.Errorf("seq_eos = %d, want 1", got)
+	}
+}
+
+// TestSeqTaxonomy: the sequence-path error taxonomy — 404 for unknown
+// models, 400 for shape errors and form confusion on both model kinds.
+func TestSeqTaxonomy(t *testing.T) {
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 2,
+		Models:    []ModelSpec{tiny},
+		SeqModels: []models.Config{tinySeq},
+		MaxSeqLen: 8,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, f64 := seqFrames(3, 4, tinySeq.Input)
+	_, long := seqFrames(3, 9, tinySeq.Input)
+	_, narrow := seqFrames(3, 4, tinySeq.Input-1)
+	in, _ := testInput(tiny.K, 5)
+	neg := -2
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown model", seqBody(t, "nope", f64, nil), 404},
+		{"frames to gemv model", seqBody(t, "tiny", f64, nil), 400},
+		{"input to seq model", inferBody(t, "tinyseq", in), 400},
+		{"wrong frame width", seqBody(t, "tinyseq", narrow, nil), 400},
+		{"over max seq len", seqBody(t, "tinyseq", long, nil), 400},
+		{"empty frames", `{"model":"tinyseq","frames":[]}`, 400},
+		{"frames and input", `{"model":"tinyseq","frames":[[1]],"input":[1]}`, 400},
+		{"negative eos", seqBody(t, "tinyseq", f64, &neg), 400},
+	}
+	for _, c := range cases {
+		resp, body := postInfer(t, ts, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d (%s), want %d", c.name, resp.StatusCode, body, c.want)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not in taxonomy form: %s", c.name, body)
+		}
+	}
+	eosBig := tinySeq.Output
+	if resp, body := postInfer(t, ts, seqBody(t, "tinyseq", f64, &eosBig)); resp.StatusCode != 400 {
+		t.Errorf("eos out of range: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestModelsEndpoint: GET /v1/models lists both model kinds with shape,
+// resident footprint, placement split, and the shard row budget.
+func TestModelsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 2,
+		Models:    []ModelSpec{tiny},
+		SeqModels: []models.Config{tinySeq},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got struct {
+		Models []struct {
+			Name          string         `json:"name"`
+			Type          string         `json:"type"`
+			Layers        int            `json:"layers"`
+			ResidentBytes int64          `json:"resident_bytes"`
+			Placement     map[string]int `json:"placement"`
+		} `json:"models"`
+		Rows map[string]int `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Models) != 2 {
+		t.Fatalf("listed %d models, want 2", len(got.Models))
+	}
+	byName := map[string]int{}
+	for i, m := range got.Models {
+		byName[m.Name] = i
+	}
+	g := got.Models[byName["tiny"]]
+	if g.Type != "gemv" || g.ResidentBytes != 2*int64(tiny.M)*int64(tiny.K) {
+		t.Errorf("gemv entry wrong: %+v", g)
+	}
+	q := got.Models[byName["tinyseq"]]
+	if q.Type != "sequence" || q.Layers != 2 {
+		t.Errorf("sequence entry wrong: %+v", q)
+	}
+	if q.Placement["pim"] != 5 || q.Placement["host"] == 0 {
+		t.Errorf("placement split wrong: %+v (want 5 pim GEMVs: 2 per layer + output)", q.Placement)
+	}
+	if q.ResidentBytes <= 0 {
+		t.Errorf("sequence resident_bytes = %d", q.ResidentBytes)
+	}
+	if got.Rows["live"] <= 0 || got.Rows["free"] <= 0 {
+		t.Errorf("row budget missing: %+v", got.Rows)
+	}
+	if resp, _ := postInfer(t, ts, ""); resp.StatusCode != 405 {
+		// POST /v1/models must be 405, not a silent 200.
+		r2, err := ts.Client().Post(ts.URL+"/v1/models", "application/json", nil)
+		if err == nil && r2.StatusCode != 405 {
+			t.Errorf("POST /v1/models: status %d, want 405", r2.StatusCode)
+		}
+	}
+}
+
+// TestPerModelBatchWait: a ModelSpec.BatchWait override must reach that
+// model's flush timer while other models keep the server-wide default —
+// the regression for the hard-coded global 2ms wait.
+func TestPerModelBatchWait(t *testing.T) {
+	slow := ModelSpec{Name: "slow", M: 16, K: 32, Seed: 43, BatchWait: time.Hour}
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 4,
+		BatchWait: time.Millisecond,
+		Models:    []ModelSpec{tiny, slow},
+	})
+	var (
+		mu    sync.Mutex
+		waits []time.Duration
+	)
+	s.newTimer = func(d time.Duration) batchTimer {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+		f := newFakeBatchTimer()
+		f.fire() // flush immediately so requests complete
+		return f
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in, _ := testInput(tiny.K, 9)
+	if resp, body := postInfer(t, ts, inferBody(t, "tiny", in)); resp.StatusCode != 200 {
+		t.Fatalf("tiny: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postInfer(t, ts, inferBody(t, "slow", in)); resp.StatusCode != 200 {
+		t.Fatalf("slow: status %d: %s", resp.StatusCode, body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[time.Duration]bool{time.Millisecond: false, time.Hour: false}
+	for _, d := range waits {
+		if _, ok := want[d]; !ok {
+			t.Errorf("timer armed with unexpected wait %v", d)
+		}
+		want[d] = true
+	}
+	if !want[time.Millisecond] || !want[time.Hour] {
+		t.Errorf("timer waits %v: want both the default (1ms) and the override (1h)", waits)
+	}
+}
+
+// TestParseSeqLenDist pins the -seqlen-dist grammar.
+func TestParseSeqLenDist(t *testing.T) {
+	good := map[string]SeqLenDist{
+		"fixed:8":      {Kind: "fixed", A: 8, B: 8},
+		"uniform:2:10": {Kind: "uniform", A: 2, B: 10},
+	}
+	for in, want := range good {
+		got, err := ParseSeqLenDist(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeqLenDist(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "fixed", "fixed:0", "fixed:x", "uniform:5:2", "uniform:0:3", "poisson:4"} {
+		if _, err := ParseSeqLenDist(bad); err == nil {
+			t.Errorf("ParseSeqLenDist(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunSeqLoad: the sequence load generator end to end with client-side
+// oracle verification on — every response re-checked against the host
+// session, zero drops, sane latency aggregation.
+func TestRunSeqLoad(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 4, SeqModels: []models.Config{tinySeq}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := RunSeqLoad(SeqLoadConfig{
+		BaseURL: ts.URL,
+		Model:   tinySeq,
+		Seqs:    12, Concurrency: 4,
+		LenDist: SeqLenDist{Kind: "uniform", A: 2, B: 6},
+		EOS:     -1,
+		Verify:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 12 || rep.BadOutputs != 0 || rep.Failures != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Steps < 2*12 || rep.Steps > 6*12 {
+		t.Errorf("steps = %d, outside [24, 72] for uniform:2:6 lengths", rep.Steps)
+	}
+	if rep.SeqPerSec <= 0 || rep.SimStepPerSec <= 0 || rep.SeqP50Us <= 0 || rep.StepP50Us <= 0 {
+		t.Errorf("throughput/latency not aggregated: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestChaosSeqMigration is the chaos-matrix case for continuous
+// batching: the shard serving a sequence dies mid-flight; the sequence
+// must migrate (state and all) to the survivor and finish with
+// bit-exact outputs — a fault costs latency, never correctness.
+func TestChaosSeqMigration(t *testing.T) {
+	fc := &fault.Config{
+		Seed:      3,
+		DeadShard: 0, DieAfterBatches: 2, ReviveAfterProbes: 0,
+	}
+	s := newTestServer(t, Config{
+		Shards: 2, Channels: 2,
+		SeqModels: []models.Config{tinySeq},
+		Fault:     fc, EvictAfter: 1, MaxRetries: 3,
+		RetryBackoff: time.Millisecond, ProbeInterval: 5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	f16, f64 := seqFrames(31, 8, tinySeq.Input)
+	resp, body := postInfer(t, ts, seqBody(t, "tinyseq", f64, nil))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d (%s) — sequence lost to the outage", resp.StatusCode, body)
+	}
+	ir := checkSeqResponse(t, body, seqOracle(t, tinySeq, f16))
+	if ir.Migrations < 1 {
+		t.Errorf("migrations = %d, want >= 1 (shard 0 died after step 2)", ir.Migrations)
+	}
+	if got := s.seqMigrations.Value(); got < 1 {
+		t.Errorf("seq_migrations = %d, want >= 1", got)
+	}
+	if st := s.ShardStates(); st[0] != "evicted" {
+		t.Errorf("shard states = %v, want shard 0 evicted", st)
+	}
+}

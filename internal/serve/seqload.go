@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimsim/internal/fp16"
+	"pimsim/internal/metrics"
+	"pimsim/internal/models"
+	"pimsim/internal/nn"
+)
+
+// SeqLenDist is a parsed sequence-length distribution: "fixed:N" (every
+// sequence N frames) or "uniform:A:B" (lengths drawn uniformly from
+// [A, B], inclusive, per sequence from the run's seeded RNG).
+type SeqLenDist struct {
+	Kind string // "fixed" or "uniform"
+	A, B int
+}
+
+// ParseSeqLenDist parses a -seqlen-dist flag value.
+func ParseSeqLenDist(s string) (SeqLenDist, error) {
+	parts := strings.Split(s, ":")
+	switch {
+	case len(parts) == 2 && parts[0] == "fixed":
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			return SeqLenDist{}, fmt.Errorf("seqlen-dist: bad fixed length %q", parts[1])
+		}
+		return SeqLenDist{Kind: "fixed", A: n, B: n}, nil
+	case len(parts) == 3 && parts[0] == "uniform":
+		a, err1 := strconv.Atoi(parts[1])
+		b, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || a <= 0 || b < a {
+			return SeqLenDist{}, fmt.Errorf("seqlen-dist: bad uniform range %q", s)
+		}
+		return SeqLenDist{Kind: "uniform", A: a, B: b}, nil
+	default:
+		return SeqLenDist{}, fmt.Errorf("seqlen-dist: want fixed:N or uniform:A:B, got %q", s)
+	}
+}
+
+func (d SeqLenDist) draw(rng *rand.Rand) int {
+	if d.A == d.B {
+		return d.A
+	}
+	return d.A + rng.Intn(d.B-d.A+1)
+}
+
+func (d SeqLenDist) String() string {
+	if d.Kind == "fixed" {
+		return fmt.Sprintf("fixed:%d", d.A)
+	}
+	return fmt.Sprintf("%s:%d:%d", d.Kind, d.A, d.B)
+}
+
+// SeqLoadConfig drives one sequence-workload run against a serve
+// endpoint's continuous-batching path.
+type SeqLoadConfig struct {
+	BaseURL string
+	Model   models.Config // the served sequence model (shape + seed)
+
+	Seqs        int           // total sequences to send (default 64)
+	Concurrency int           // closed-loop in-flight sequences (default 8)
+	LenDist     SeqLenDist    // per-sequence frame counts (default fixed:16)
+	EOS         int           // EOS class sent with each request; <0 disables (default -1)
+	Seed        int64         // frame/length RNG seed (default 1)
+	Timeout     time.Duration // per-request client timeout (default 30s)
+
+	// Verify recomputes every response against the host-session oracle
+	// (the client regenerates the weights from Model.Seed and replays the
+	// exact frames it sent). VerifyGRF is the device GRF depth (default 8).
+	Verify    bool
+	VerifyGRF int
+
+	Client *http.Client
+}
+
+func (c *SeqLoadConfig) applyDefaults() error {
+	if c.BaseURL == "" || c.Model.Name == "" {
+		return fmt.Errorf("seqload: BaseURL and Model are required")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Seqs <= 0 {
+		c.Seqs = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.LenDist.Kind == "" {
+		c.LenDist = SeqLenDist{Kind: "fixed", A: 16, B: 16}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.VerifyGRF <= 0 {
+		c.VerifyGRF = 8
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Timeout}
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	return nil
+}
+
+// SeqReport is the outcome of a sequence load run. Step latency is the
+// per-sequence wall time amortized over its executed steps (the client
+// cannot see individual step boundaries over HTTP); device step time is
+// exact, from the server's per-step cycle attribution.
+type SeqReport struct {
+	Model       string `json:"model"`
+	LenDist     string `json:"len_dist"`
+	Concurrency int    `json:"concurrency"`
+
+	Sent        int `json:"sent"`
+	OK          int `json:"ok"`
+	Rejected    int `json:"rejected"`
+	Timeouts    int `json:"timeouts"`
+	Unavailable int `json:"unavailable"`
+	BadOutputs  int `json:"bad_outputs"`
+	Failures    int `json:"failures"`
+
+	Steps      int64 `json:"steps"`       // executed timesteps across OK sequences
+	EOSRetired int   `json:"eos_retired"` // sequences that stopped on EOS
+	Migrations int64 `json:"migrations"`  // shard migrations across OK sequences
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	SeqPerSec     float64 `json:"seq_per_sec"`       // OK sequences / wall
+	SimStepPerSec float64 `json:"sim_steps_per_sec"` // steps / attributed device time
+
+	StepP50Us float64 `json:"step_p50_us"` // wall per-step (seq wall / steps)
+	StepP95Us float64 `json:"step_p95_us"`
+	StepP99Us float64 `json:"step_p99_us"`
+
+	SeqP50Us float64 `json:"seq_p50_us"` // wall per-sequence
+	SeqP95Us float64 `json:"seq_p95_us"`
+	SeqP99Us float64 `json:"seq_p99_us"`
+
+	DevStepP50Us float64 `json:"dev_step_p50_us"` // device time per step
+}
+
+// RunSeqLoad sends cfg.Seqs multi-step sequences through /v1/infer in a
+// closed loop and aggregates latency, throughput, and (with Verify) full
+// per-step bit-exactness against the host oracle.
+func RunSeqLoad(cfg SeqLoadConfig) (*SeqReport, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+
+	var plan *nn.Plan
+	if cfg.Verify {
+		w, err := nn.GenWeights(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		if plan, err = nn.Compile(w); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pre-draw every sequence's length and frames from one seeded RNG so
+	// the workload is reproducible and each worker owns disjoint
+	// sequences without coordination.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type seqJob struct {
+		frames []fp16.Vector
+		body   []byte
+	}
+	jobs := make([]seqJob, cfg.Seqs)
+	for i := range jobs {
+		n := cfg.LenDist.draw(rng)
+		f16 := make([]fp16.Vector, n)
+		f64 := make([][]float64, n)
+		for t := range f16 {
+			x := fp16.NewVector(cfg.Model.Input)
+			row := make([]float64, cfg.Model.Input)
+			for j := range x {
+				x[j] = fp16.FromFloat32(float32(rng.NormFloat64() * 0.5))
+				row[j] = float64(x[j].Float32())
+			}
+			f16[t] = x
+			f64[t] = row
+		}
+		req := InferRequest{Model: cfg.Model.Name, Frames: f64}
+		if cfg.EOS >= 0 {
+			eos := cfg.EOS
+			req.EOS = &eos
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = seqJob{frames: f16, body: b}
+	}
+
+	reg := metrics.New(cfg.Concurrency)
+	stepH := reg.Histogram("step_us", metrics.ExpBuckets(1, 2, 30))
+	seqH := reg.Histogram("seq_us", metrics.ExpBuckets(1, 2, 30))
+	devH := reg.Histogram("dev_step_us", metrics.ExpBuckets(1, 2, 30))
+
+	var okN, rejN, toN, unavN, badN, failN int64
+	var stepsN, migN, eosN int64
+	var busyNs uint64
+
+	shoot := func(wkr, i int) {
+		job := jobs[i]
+		start := time.Now()
+		resp, err := cfg.Client.Post(cfg.BaseURL+"/v1/infer", "application/json", bytes.NewReader(job.body))
+		seqUs := time.Since(start).Microseconds()
+		if err != nil {
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			atomic.AddInt64(&rejN, 1)
+			return
+		case http.StatusGatewayTimeout:
+			atomic.AddInt64(&toN, 1)
+			return
+		case http.StatusServiceUnavailable:
+			atomic.AddInt64(&unavN, 1)
+			return
+		default:
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		var ir InferResponse
+		if err := json.Unmarshal(raw, &ir); err != nil || ir.Steps <= 0 || len(ir.StepOutputs) != ir.Steps {
+			atomic.AddInt64(&failN, 1)
+			return
+		}
+		if plan != nil {
+			// Replay exactly the frames the server executed: with EOS the
+			// sequence may have retired early, so truncate before the oracle.
+			want, err := plan.HostOracle(job.frames[:ir.Steps], cfg.VerifyGRF)
+			if err != nil {
+				atomic.AddInt64(&failN, 1)
+				return
+			}
+			for step := range want {
+				if !outputsMatch(ir.StepOutputs[step], want[step]) {
+					atomic.AddInt64(&badN, 1)
+					return
+				}
+			}
+		}
+		atomic.AddInt64(&okN, 1)
+		atomic.AddInt64(&stepsN, int64(ir.Steps))
+		atomic.AddInt64(&migN, int64(ir.Migrations))
+		if ir.EOSStep != nil {
+			atomic.AddInt64(&eosN, 1)
+		}
+		seqH.Observe(wkr, seqUs)
+		stepH.Observe(wkr, seqUs/int64(ir.Steps))
+		if ir.DeviceNs > 0 {
+			atomic.AddUint64(&busyNs, uint64(ir.DeviceNs))
+			devH.Observe(wkr, int64(ir.DeviceNs/float64(ir.Steps)/1e3))
+		}
+	}
+
+	startWall := time.Now()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < cfg.Concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= cfg.Seqs {
+					return
+				}
+				shoot(wkr, i)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	wall := time.Since(startWall)
+
+	snap := reg.Snapshot()
+	stepS, seqS, devS := snap.Histograms["step_us"], snap.Histograms["seq_us"], snap.Histograms["dev_step_us"]
+
+	rep := &SeqReport{
+		Model:       cfg.Model.Name,
+		LenDist:     cfg.LenDist.String(),
+		Concurrency: cfg.Concurrency,
+		Sent:        cfg.Seqs,
+		OK:          int(okN),
+		Rejected:    int(rejN),
+		Timeouts:    int(toN),
+		Unavailable: int(unavN),
+		BadOutputs:  int(badN),
+		Failures:    int(failN),
+		Steps:       stepsN,
+		EOSRetired:  int(eosN),
+		Migrations:  migN,
+		WallSeconds: wall.Seconds(),
+
+		StepP50Us: stepS.Quantile(0.50),
+		StepP95Us: stepS.Quantile(0.95),
+		StepP99Us: stepS.Quantile(0.99),
+		SeqP50Us:  seqS.Quantile(0.50),
+		SeqP95Us:  seqS.Quantile(0.95),
+		SeqP99Us:  seqS.Quantile(0.99),
+
+		DevStepP50Us: devS.Quantile(0.50),
+	}
+	if rep.OK > 0 {
+		rep.SeqPerSec = float64(rep.OK) / wall.Seconds()
+		if busyNs > 0 {
+			rep.SimStepPerSec = float64(stepsN) / (float64(busyNs) / 1e9)
+		}
+	}
+	if got := rep.OK + rep.Rejected + rep.Timeouts + rep.Unavailable + rep.BadOutputs + rep.Failures; got != rep.Sent {
+		return rep, fmt.Errorf("seqload: dropped responses: sent %d, accounted %d", rep.Sent, got)
+	}
+	return rep, nil
+}
+
+// String renders the report for terminals.
+func (r *SeqReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sequence closed loop, model %s, lengths %s, %d in flight\n",
+		r.Model, r.LenDist, r.Concurrency)
+	fmt.Fprintf(&b, "  sent %d: %d ok, %d rejected (429), %d timeouts (504), %d unavailable (503), %d bad outputs, %d failures\n",
+		r.Sent, r.OK, r.Rejected, r.Timeouts, r.Unavailable, r.BadOutputs, r.Failures)
+	fmt.Fprintf(&b, "  steps %d (%d sequences EOS-retired, %d migrations)\n", r.Steps, r.EOSRetired, r.Migrations)
+	fmt.Fprintf(&b, "  throughput  %.1f seq/s wall, %.0f steps/s simulated-device\n", r.SeqPerSec, r.SimStepPerSec)
+	fmt.Fprintf(&b, "  seq latency   p50 %.0fus  p95 %.0fus  p99 %.0fus\n", r.SeqP50Us, r.SeqP95Us, r.SeqP99Us)
+	fmt.Fprintf(&b, "  step latency  p50 %.0fus  p95 %.0fus  p99 %.0fus  (device p50 %.1fus)\n",
+		r.StepP50Us, r.StepP95Us, r.StepP99Us, r.DevStepP50Us)
+	return b.String()
+}

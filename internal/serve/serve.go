@@ -53,6 +53,7 @@ import (
 	"pimsim/internal/hbm"
 	"pimsim/internal/metrics"
 	"pimsim/internal/models"
+	"pimsim/internal/nn"
 	"pimsim/internal/obs"
 	"pimsim/internal/runtime"
 )
@@ -65,6 +66,12 @@ type ModelSpec struct {
 	M    int    `json:"m"`
 	K    int    `json:"k"`
 	Seed int64  `json:"seed"`
+
+	// BatchWait overrides Config.BatchWait for this model's batcher.
+	// Models differ in arrival pattern — a hot small-output layer wants a
+	// short straggler window, a cold mid-size one can afford to wait for
+	// company — so the flush deadline is per-model, not server-global.
+	BatchWait time.Duration `json:"batch_wait_ns,omitempty"`
 }
 
 // Weights regenerates the spec's weight matrix (deterministic, so load
@@ -116,8 +123,24 @@ type Config struct {
 
 	Models []ModelSpec // preloaded on every shard (default DefaultModels)
 
+	// SeqModels are sequence (LSTM-stack) models compiled through
+	// internal/nn and served with continuous batching: requests join and
+	// leave a running step loop between timesteps instead of flushing as
+	// fixed-size batches. Default none; models.ServingConfigs() has the
+	// serving-scale DS2/RNN-T/GNMT stacks.
+	SeqModels []models.Config
+
+	// SeqAdmit caps how many sequences a stepper runs concurrently
+	// (default 0 = every slot, i.e. Channels). SeqAdmit=1 degenerates to
+	// sequential per-request execution — the continuous-batching A/B
+	// baseline.
+	SeqAdmit int
+
+	// MaxSeqLen bounds frames per sequence request (default 256).
+	MaxSeqLen int
+
 	MaxBatch       int           // batch bound; clamped to Channels (default Channels)
-	BatchWait      time.Duration // batcher flush timeout (default 2ms)
+	BatchWait      time.Duration // batcher flush timeout (default 2ms; ModelSpec.BatchWait overrides per model)
 	QueueDepth     int           // per-model admission queue (default 64)
 	RequestTimeout time.Duration // deadline incl. queueing (default 2s)
 	MaxBodyBytes   int64         // request body cap (default 8 MiB)
@@ -180,6 +203,12 @@ func (c *Config) applyDefaults() {
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
+	if c.SeqAdmit <= 0 || c.SeqAdmit > c.Channels {
+		c.SeqAdmit = c.Channels
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 256
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
@@ -224,7 +253,8 @@ type shard struct {
 	id     int
 	rt     *runtime.Runtime
 	loaded map[string]*blas.ResidentGemv
-	inj    *fault.Injector // nil unless the server was built with a fault profile
+	seq    map[string]*nn.Resident // sequence models resident on this shard
+	inj    *fault.Injector         // nil unless the server was built with a fault profile
 
 	state       healthState
 	consecFails int
@@ -248,6 +278,7 @@ type model struct {
 	W        fp16.Vector
 	queue    chan *request
 	maxBatch int
+	wait     time.Duration // straggler-flush deadline (spec override or Config.BatchWait)
 
 	probeX fp16.Vector // fixed probe input
 	probeY fp16.Vector // oracle output (device accumulation order)
@@ -287,10 +318,11 @@ type response struct {
 
 // Server is the inference service.
 type Server struct {
-	cfg    Config
-	mods   map[string]*model
-	shards []*shard
-	pool   chan *shard
+	cfg     Config
+	mods    map[string]*model
+	seqMods map[string]*seqModel
+	shards  []*shard
+	pool    chan *shard
 
 	mu       sync.RWMutex // guards draining vs. enqueue/close(queue)
 	draining bool
@@ -325,6 +357,15 @@ type Server struct {
 	eccCorrC     *metrics.Counter
 	eccUncorrC   *metrics.Counter
 	stateG       []*metrics.Gauge // per-shard health state (healthState value)
+
+	// Continuous-batching metrics (see seq.go).
+	seqAdmitted   *metrics.Counter   // sequences accepted into a queue
+	seqCompleted  *metrics.Counter   // sequences answered 200
+	seqSteps      *metrics.Counter   // device timesteps executed
+	seqMigrations *metrics.Counter   // sequence-slot migrations off faulted shards
+	seqEOS        *metrics.Counter   // sequences retired early by EOS
+	seqOccupancy  *metrics.Histogram // active slots per executed step
+	seqStepCyc    *metrics.Histogram // device cycles per step (all slots)
 
 	tracer *obs.Tracer  // nil = tracing disabled
 	logger *slog.Logger // nil = access logging disabled
@@ -371,6 +412,13 @@ func New(cfg Config) (*Server, error) {
 	s.quarantinedG = s.reg.Gauge("serve_rows_quarantined")
 	s.eccCorrC = s.reg.Counter("serve_ecc_corrected_total")
 	s.eccUncorrC = s.reg.Counter("serve_ecc_uncorrectable_total")
+	s.seqAdmitted = s.reg.Counter("serve_seq_admitted_total")
+	s.seqCompleted = s.reg.Counter("serve_seq_completed_total")
+	s.seqSteps = s.reg.Counter("serve_seq_steps_total")
+	s.seqMigrations = s.reg.Counter("serve_seq_migrations_total")
+	s.seqEOS = s.reg.Counter("serve_seq_eos_total")
+	s.seqOccupancy = s.reg.Histogram("serve_seq_occupancy", linearBuckets(1, cfg.Channels))
+	s.seqStepCyc = s.reg.Histogram("serve_seq_step_cycles", metrics.ExpBuckets(64, 2, 26))
 	s.tracer = cfg.Tracer
 	s.logger = cfg.Logger
 	// Per-shard health-state gauges: 0 healthy, 1 suspect, 2 evicted (an
@@ -387,11 +435,42 @@ func New(cfg Config) (*Server, error) {
 		if _, dup := s.mods[spec.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate model %q", spec.Name)
 		}
+		wait := spec.BatchWait
+		if wait <= 0 {
+			wait = cfg.BatchWait
+		}
 		s.mods[spec.Name] = &model{
 			spec:     spec,
 			W:        spec.Weights(),
 			queue:    make(chan *request, cfg.QueueDepth),
 			maxBatch: cfg.MaxBatch,
+			wait:     wait,
+		}
+	}
+
+	// Sequence models: validate + compile once (the Plan is immutable and
+	// shared by every shard's Resident and by the host oracle).
+	s.seqMods = make(map[string]*seqModel, len(cfg.SeqModels))
+	for _, mc := range cfg.SeqModels {
+		if _, dup := s.mods[mc.Name]; dup {
+			return nil, fmt.Errorf("serve: model %q declared as both gemv and sequence", mc.Name)
+		}
+		if _, dup := s.seqMods[mc.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate sequence model %q", mc.Name)
+		}
+		w, err := nn.GenWeights(mc)
+		if err != nil {
+			return nil, fmt.Errorf("serve: sequence model %q: %w", mc.Name, err)
+		}
+		plan, err := nn.Compile(w)
+		if err != nil {
+			return nil, fmt.Errorf("serve: sequence model %q: %w", mc.Name, err)
+		}
+		s.seqMods[mc.Name] = &seqModel{
+			cfg:   mc,
+			plan:  plan,
+			queue: make(chan *seqRequest, cfg.QueueDepth),
+			admit: cfg.SeqAdmit,
 		}
 	}
 
@@ -423,7 +502,12 @@ func New(cfg Config) (*Server, error) {
 			rt.Drv.Obs = cfg.Tracer
 			rt.Drv.ObsName = fmt.Sprintf("shard%d", i)
 		}
-		sh := &shard{id: i, rt: rt, loaded: make(map[string]*blas.ResidentGemv, len(s.mods))}
+		sh := &shard{
+			id:     i,
+			rt:     rt,
+			loaded: make(map[string]*blas.ResidentGemv, len(s.mods)),
+			seq:    make(map[string]*nn.Resident, len(s.seqMods)),
+		}
 		if cfg.Fault != nil {
 			sh.inj = fault.New(fc)
 			if fc.CorruptsData() {
@@ -442,6 +526,13 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("serve: shard %d: load %s: %w", i, name, err)
 			}
 			sh.loaded[name] = g
+		}
+		for name, m := range s.seqMods {
+			r, err := nn.Load(rt, m.plan)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d: load %s: %w", i, name, err)
+			}
+			sh.seq[name] = r
 		}
 		s.shards = append(s.shards, sh)
 		s.pool <- sh
@@ -468,6 +559,10 @@ func New(cfg Config) (*Server, error) {
 	for _, m := range s.mods {
 		s.wg.Add(1)
 		go s.batcher(m)
+	}
+	for _, m := range s.seqMods {
+		s.wg.Add(1)
+		go s.stepper(m)
 	}
 	s.wg.Add(1)
 	go s.prober()
@@ -535,7 +630,14 @@ func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq ti
 	}
 	m := s.mods[name]
 	if m == nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("unknown model %q", name)
+		// A name the server has never heard of is a 404 — the resource
+		// does not exist; a wrong request *shape* for a loaded model stays
+		// a 400. GET /v1/models lists what is servable.
+		if s.seqMods[name] != nil {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("model %q is a sequence model: post frames, not input", name)
+		}
+		return nil, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
 	}
 	if len(x) != m.spec.K {
 		return nil, http.StatusBadRequest,
@@ -589,6 +691,9 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	s.draining = true
 	for _, m := range s.mods {
+		close(m.queue)
+	}
+	for _, m := range s.seqMods {
 		close(m.queue)
 	}
 	s.mu.Unlock()

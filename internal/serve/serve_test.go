@@ -246,8 +246,8 @@ func mustJSON(v any) string {
 	return string(b)
 }
 
-// TestTaxonomy400: malformed, oversized, unknown-model and wrong-shape
-// requests are client errors, not 500s.
+// TestTaxonomy400: malformed, oversized and wrong-shape requests are
+// client errors (400), an unknown model is a 404 — never 500s.
 func TestTaxonomy400(t *testing.T) {
 	s := newTestServer(t, Config{
 		Shards: 1, Channels: 2, Models: []ModelSpec{tiny},
@@ -264,7 +264,7 @@ func TestTaxonomy400(t *testing.T) {
 		want int
 	}{
 		{"malformed", `{"model": "tiny", "input": [`, 400},
-		{"unknown model", inferBody(t, "nope", in), 400},
+		{"unknown model", inferBody(t, "nope", in), 404},
 		{"wrong length", inferBody(t, "tiny", in[:5]), 400},
 		{"missing input", `{"model":"tiny"}`, 400},
 		{"both inputs", fmt.Sprintf(`{"model":"tiny","input":%s,"inputs":[%s]}`, mustJSON(in), mustJSON(in)), 400},

@@ -129,6 +129,13 @@ type Session struct {
 	// the preprocessor considers an op memory-bound enough for PIM.
 	OffloadThreshold int
 
+	// MatVecGRF, when positive, makes host-placed MatVec nodes accumulate
+	// in the device's exact order (blas.RefGemvPIMOrder at that GRF
+	// depth) instead of float32. A host session with MatVecGRF set is a
+	// bit-exact oracle for graphs whose GEMVs run on resident PIM
+	// weights — what internal/nn verifies served sequences against.
+	MatVecGRF int
+
 	// Placement records where each node executed on the last Run.
 	Placement map[*Node]string
 }
@@ -263,6 +270,9 @@ func (s *Session) execute(n *Node, ins []*Tensor) (*Tensor, error) {
 				return nil, err
 			}
 			return &Tensor{Shape: []int{m}, Data: y}, nil
+		}
+		if s.MatVecGRF > 0 {
+			return &Tensor{Shape: []int{m}, Data: blas.RefGemvPIMOrder(n.W.Data, m, k, ins[0].Data, s.MatVecGRF)}, nil
 		}
 		return &Tensor{Shape: []int{m}, Data: blas.HostGemvF32(n.W.Data, m, k, ins[0].Data)}, nil
 	case OpAdd, OpMul:

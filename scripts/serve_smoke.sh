@@ -38,7 +38,9 @@ expect() { # expect <want-code> <name> <curl args...>
 
 expect 200 "healthz" "$base/healthz"
 expect 400 "malformed json" -X POST -d '{"model": "tiny", "input": [' "$base/v1/infer"
-expect 400 "unknown model" -X POST -d '{"model":"nope","input":[1,2]}' "$base/v1/infer"
+expect 404 "unknown model" -X POST -d '{"model":"nope","input":[1,2]}' "$base/v1/infer"
+expect 200 "models listing" "$base/v1/models"
+grep -q '"type":"gemv"' "$tmp/body" || { echo "FAIL: /v1/models missing gemv entries"; exit 1; }
 expect 400 "wrong input shape" -X POST -d '{"model":"micro-256x256","input":[1,2,3]}' "$base/v1/infer"
 python3 -c 'print("{\"model\":\"micro-256x256\",\"input\":[%s]}" % ",".join(["0.125"]*3000000))' >"$tmp/huge.json"
 expect 400 "oversized body" -X POST --data-binary "@$tmp/huge.json" "$base/v1/infer"
