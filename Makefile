@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke model-smoke trace-smoke chaos
+.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke model-smoke trace-smoke chaos qos-drill
 
 all: build vet test
 
@@ -99,3 +99,14 @@ trace-smoke:
 chaos:
 	$(GO) run ./cmd/pimload -chaos -fault-profile chaos-mild -fault-seed 42 -requests 96 -conc 8
 	$(GO) run ./cmd/pimload -chaos -fault-profile chaos-hard -fault-seed 42 -requests 96 -conc 8 -max-err-frac 0.6 -recover-frac 0.75
+
+# qos-drill proves the multi-tenant admission-control story from
+# docs/SERVING.md: the QoS unit tests (exact WFQ shares, priority
+# displacement, EDF expiry, hedged dispatch) under the race detector,
+# then the four-scenario matrix (overload / bursty / mixed-priority /
+# slow-tenant) through cmd/pimload against live in-process servers —
+# every admission count pinned exactly, per-tenant quantiles written to
+# qos_tenants.json (CI uploads it).
+qos-drill:
+	$(GO) test -race -count=1 -run 'QoS|FairQueue|Tenant|DeadlineExpired|Hedged' ./internal/serve
+	$(GO) run ./cmd/pimload -qos -scenario all -out qos_tenants.json

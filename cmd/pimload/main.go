@@ -17,6 +17,13 @@
 // fault-free ECC-on baseline, a verified run under an injected fault
 // profile (zero wrong answers or the drill fails), and a post-recovery
 // run that must reach -recover-frac of the baseline throughput.
+//
+// -qos runs the four-scenario admission-control matrix from
+// docs/SERVING.md (overload, bursty, mixed-priority, slow-tenant), each
+// with pinned per-tenant assertions; -out writes the per-tenant
+// quantile rows as JSON (the qos_tenants.json CI artifact):
+//
+//	pimload -qos -scenario all -out qos_tenants.json
 package main
 
 import (
@@ -63,7 +70,11 @@ func main() {
 		seqs     = flag.Int("seqs", 64, "with -seq: total sequences")
 		seqEOS   = flag.Int("eos", -1, "with -seq: EOS class for early retirement (<0 disables)")
 		seqAdmit = flag.Int("seq-admit", 0, "with -seq: in-process stepper admission cap (0 = every channel)")
-		seed     = flag.Int64("seed", 1, "with -seq: frame/length RNG seed")
+		seed     = flag.Int64("seed", 1, "with -seq/-qos: workload RNG seed")
+
+		qos      = flag.Bool("qos", false, "run the QoS scenario matrix with pinned admission/fairness assertions")
+		scenario = flag.String("scenario", "all", "with -qos: one scenario name, or \"all\" (overload, bursty, mixed-priority, slow-tenant)")
+		out      = flag.String("out", "", "with -qos: write the per-tenant quantile report JSON here (e.g. qos_tenants.json)")
 
 		chaos       = flag.Bool("chaos", false, "run the three-phase fault drill (baseline / chaos / recovery)")
 		profile     = flag.String("fault-profile", "chaos-mild", "with -chaos: fault profile to inject")
@@ -75,6 +86,15 @@ func main() {
 
 	if *compare && *url != "" {
 		log.Fatal("pimload: -compare boots its own servers; drop -url")
+	}
+	if *qos {
+		if *url != "" || *compare || *chaos || *seq {
+			log.Fatal("pimload: -qos boots its own servers; drop -url/-compare/-chaos/-seq")
+		}
+		if err := runQoS(*scenario, *seed, *out); err != nil {
+			log.Fatalf("pimload: %v", err)
+		}
+		return
 	}
 	if *seq {
 		if *chaos {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pimsim/internal/serve"
+)
+
+// runQoS executes the QoS scenario matrix (docs/SERVING.md): each named
+// scenario boots its own in-process server, shapes multi-tenant queue
+// state deterministically, and evaluates the pinned admission/fairness
+// assertions in internal/serve. The -out artifact carries every
+// per-tenant quantile row (qos_tenants.json in CI); any violation fails
+// the run.
+func runQoS(scenario string, seed int64, out string) error {
+	names := serve.QoSScenarioNames()
+	if scenario != "all" {
+		names = []string{scenario}
+	}
+	reports := make([]*serve.QoSReport, 0, len(names))
+	failed := false
+	for _, name := range names {
+		rep, err := serve.RunQoSScenario(name, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		reports = append(reports, rep)
+		if !rep.Pass() {
+			failed = true
+		}
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(struct {
+			Scenarios []*serve.QoSReport `json:"scenarios"`
+		}{reports}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if failed {
+		return fmt.Errorf("qos: pinned assertions failed")
+	}
+	return nil
+}

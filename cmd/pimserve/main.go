@@ -16,6 +16,15 @@
 //
 //	pimserve -fault-profile chaos-mild -fault-seed 42
 //
+// Multi-tenant QoS (docs/SERVING.md): -tenant name=weight[:priority]
+// (repeatable) gives each tenant its own weighted-fair lane in every
+// model's admission queue, with graduated shedding by priority;
+// requests pick a lane with the `tenant` body field or X-Tenant header.
+// -hedge-delay duplicates straggling batches onto a spare shard and
+// takes the first result, trimming the p99.9 tail:
+//
+//	pimserve -tenant gold=4:10 -tenant free=1 -hedge-delay 5ms
+//
 // Observability (docs/OBSERVABILITY.md): every request carries an ID
 // (returned in X-Request-ID) and produces one JSON access-log line on
 // stderr. -trace arms the flight recorder — request span trees are
@@ -39,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +59,40 @@ import (
 	"pimsim/internal/obs"
 	"pimsim/internal/serve"
 )
+
+// tenantFlags collects repeatable -tenant name=weight[:priority] flags
+// into the serving layer's QoS lane specs (docs/SERVING.md): weight is
+// the WFQ share, priority orders graduated shedding (higher sheds
+// later). Unattributed traffic always gets a "default" lane.
+type tenantFlags []serve.TenantSpec
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, 0, len(*t))
+	for _, sp := range *t {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d", sp.Name, sp.Weight, sp.Priority))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=weight[:priority], got %q", s)
+	}
+	wStr, pStr, hasP := strings.Cut(val, ":")
+	w, err := strconv.Atoi(wStr)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("tenant %s: weight must be a positive integer, got %q", name, wStr)
+	}
+	p := 0
+	if hasP {
+		if p, err = strconv.Atoi(pStr); err != nil {
+			return fmt.Errorf("tenant %s: priority must be an integer, got %q", name, pStr)
+		}
+	}
+	*t = append(*t, serve.TenantSpec{Name: name, Weight: w, Priority: p})
+	return nil
+}
 
 // batchWaitOverrides collects repeatable -model-batch-wait name=duration
 // flags into per-model flush deadlines.
@@ -119,6 +163,7 @@ func main() {
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "dynamic batcher flush timeout")
 		queueDepth = flag.Int("queue-depth", 64, "per-model admission queue depth")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-request deadline (queue + execute)")
+		hedgeDelay = flag.Duration("hedge-delay", 0, "duplicate a straggling batch onto a spare shard after this delay; first result wins (0 = off)")
 		drainWait  = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget")
 
 		ecc        = flag.Bool("ecc", false, "enable the on-die SEC-DED engine (implied by a corrupting fault profile)")
@@ -140,6 +185,8 @@ func main() {
 	)
 	waits := batchWaitOverrides{}
 	flag.Var(waits, "model-batch-wait", "per-model batcher flush deadline override, name=duration (repeatable)")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "QoS tenant lane, name=weight[:priority] (repeatable); requests pick a lane via the tenant body field or X-Tenant header")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -163,6 +210,8 @@ func main() {
 		BatchWait:      *batchWait,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *timeout,
+		Tenants:        tenants,
+		HedgeDelay:     *hedgeDelay,
 		SeqModels:      seqCfgs,
 		SeqAdmit:       *seqAdmit,
 		MaxSeqLen:      *maxSeqLen,
@@ -262,6 +311,12 @@ func main() {
 		"boot_ms", time.Since(boot).Milliseconds())
 	for _, m := range s.Models() {
 		logger.Info("model loaded", "model", m.Name, "m", m.M, "k", m.K)
+	}
+	for _, sp := range tenants {
+		logger.Info("tenant lane", "tenant", sp.Name, "weight", sp.Weight, "priority", sp.Priority)
+	}
+	if *hedgeDelay > 0 {
+		logger.Info("hedged dispatch armed", "delay", hedgeDelay.String())
 	}
 	for _, c := range seqCfgs {
 		logger.Info("sequence model resident", "model", c.Name,

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"pimsim/internal/fault"
 	"pimsim/internal/hbm"
@@ -230,6 +231,145 @@ func TestDesignDocSeqMetricsExist(t *testing.T) {
 	}
 	if cited < 5 {
 		t.Errorf("DESIGN.md cites only %d serve_seq_ metrics; continuous batching section missing?", cited)
+	}
+}
+
+// TestServingDocMetricsExist boots a multi-tenant server with hedging
+// armed and checks that every serve_ metric the serving handbook tells
+// an operator to watch is registered (label-bearing citations like
+// `serve_tenant_shed_total{...}` are matched by base name).
+func TestServingDocMetricsExist(t *testing.T) {
+	doc := readDoc(t, "docs/SERVING.md")
+
+	s, err := serve.New(serve.Config{
+		Shards: 2, Channels: 2,
+		HedgeDelay: time.Millisecond,
+		Tenants: []serve.TenantSpec{
+			{Name: "gold", Weight: 4, Priority: 10},
+			{Name: "free", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	snap := s.Metrics().Snapshot()
+	base := func(name string) string {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	known := make(map[string]bool)
+	for name := range snap.Counters {
+		known[base(name)] = true
+	}
+	for name := range snap.Gauges {
+		known[base(name)] = true
+	}
+	for name := range snap.Histograms {
+		known[base(name)] = true
+	}
+
+	cited := 0
+	for _, f := range strings.Fields(doc) {
+		name := strings.Trim(f, "`,.")
+		if !strings.HasPrefix(name, "serve_") {
+			continue
+		}
+		cited++
+		if !known[base(name)] {
+			t.Errorf("docs/SERVING.md cites metric %q, not registered by the server", name)
+		}
+	}
+	if cited < 8 {
+		t.Errorf("docs/SERVING.md cites only %d serve_ metrics; what-to-watch section missing?", cited)
+	}
+}
+
+// TestServingDocNamesSurface pins the flags, headers, shed reasons and
+// make targets the serving handbook teaches against the strings the
+// code actually defines, so a rename cannot silently rot the runbook.
+func TestServingDocNamesSurface(t *testing.T) {
+	doc := readDoc(t, "docs/SERVING.md")
+	for _, surface := range []string{
+		"-tenant", "-hedge-delay", "-queue-depth", "-batch-wait", "-timeout",
+		"X-Tenant", "Retry-After", "make qos-drill", "qos_tenants.json",
+		"`" + serve.DefaultTenant + "`",
+	} {
+		if !strings.Contains(doc, surface) {
+			t.Errorf("docs/SERVING.md does not mention %s", surface)
+		}
+	}
+
+	// The shed taxonomy the doc documents is exactly the one the code
+	// attaches to rejections (compile-time: the constants must exist).
+	for _, reason := range []string{serve.ShedQueueFull, serve.ShedByPriority, serve.ShedDeadlineExpired} {
+		if !strings.Contains(doc, "`"+reason+"`") {
+			t.Errorf("docs/SERVING.md does not document shed reason `%s`", reason)
+		}
+	}
+
+	// Every drill scenario is described in both the handbook and the
+	// README's QoS table.
+	readme := readDoc(t, "README.md")
+	for _, name := range serve.QoSScenarioNames() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("docs/SERVING.md scenario table missing %q (serve.QoSScenarioNames)", name)
+		}
+		if !strings.Contains(readme, name) {
+			t.Errorf("README.md QoS table missing scenario %q", name)
+		}
+	}
+
+	pimserve := readDoc(t, "cmd/pimserve/main.go")
+	for _, flagName := range []string{`"tenant"`, `"hedge-delay"`} {
+		if !strings.Contains(pimserve, flagName) {
+			t.Errorf("cmd/pimserve does not define flag %s named by docs/SERVING.md", flagName)
+		}
+	}
+	pimload := readDoc(t, "cmd/pimload/main.go")
+	for _, flagName := range []string{`"qos"`, `"scenario"`, `"out"`} {
+		if !strings.Contains(pimload, flagName) {
+			t.Errorf("cmd/pimload does not define flag %s named by docs/SERVING.md", flagName)
+		}
+	}
+}
+
+// TestDocsReadmeIndex keeps docs/README.md an honest index: every page
+// in docs/ is listed, and the index never names a page that is gone.
+func TestDocsReadmeIndex(t *testing.T) {
+	index := readDoc(t, "docs/README.md")
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == "README.md" || !strings.HasSuffix(name, ".md") {
+			continue
+		}
+		if !strings.Contains(index, name) {
+			t.Errorf("docs/README.md index does not list docs/%s", name)
+		}
+	}
+	// Every page the index links must exist on disk.
+	for _, page := range []string{"SERVING.md", "FAULTS.md", "OBSERVABILITY.md"} {
+		if _, err := os.Stat("docs/" + page); err != nil {
+			t.Errorf("docs/README.md links docs/%s: %v", page, err)
+		}
+	}
+}
+
+// TestReadmeLinksServingDoc keeps the QoS/serving-operations story
+// reachable from the front page.
+func TestReadmeLinksServingDoc(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, link := range []string{"docs/SERVING.md", "docs/README.md"} {
+		if !strings.Contains(readme, link) {
+			t.Errorf("README.md does not link %s", link)
+		}
 	}
 }
 

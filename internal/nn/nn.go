@@ -24,6 +24,12 @@
 // That bit-exactness is the correctness contract: Plan.HostOracle is the
 // pure-host reference the serving layer and load generator verify full
 // multi-step sequences against.
+//
+// Concurrency contract: a Plan and its loaded per-shard state are owned
+// by one stepper goroutine at a time — Load and StepSlots are not safe
+// for concurrent use on the same shard, mirroring how a leased shard
+// owns its channels. Distinct shards (distinct runtimes) step freely in
+// parallel; HostOracle is pure and safe from any goroutine.
 package nn
 
 import (

@@ -11,14 +11,18 @@ import (
 )
 
 // batcher is the per-model pipeline stage between admission and the shard
-// pool. It blocks on the model's queue, then collects followers until the
-// batch is full (maxBatch, itself clamped to the channel count — the PIM
-// kernel carries one request per pseudo channel) or BatchWait elapses,
-// whichever first. It then leases a shard — blocking here is what turns a
-// busy pool into queue growth and, at QueueDepth, into 429s — and hands
-// the batch to a worker goroutine so the next batch can form while the
-// kernel runs. Exits when the queue is closed AND drained, which is how
-// Close guarantees zero dropped accepted requests.
+// pool. It blocks on the model's fair queue (WFQ across tenant lanes, EDF
+// within a lane — see qos.go), then collects followers until the batch is
+// full (maxBatch, itself clamped to the channel count — the PIM kernel
+// carries one request per pseudo channel) or BatchWait elapses, whichever
+// first. It then leases a shard — blocking here is what turns a busy pool
+// into queue growth and, at QueueDepth, into 429s — and hands the batch
+// to a worker goroutine so the next batch can form while the kernel runs.
+// Exits when the queue is closed AND drained, which is how Close
+// guarantees zero dropped accepted requests.
+//
+// Concurrency contract: this goroutine is the queue's only consumer; the
+// fairQueue notify protocol (qos.go) depends on that.
 func (s *Server) batcher(m *model) {
 	defer s.wg.Done()
 	// One straggler timer serves every batch this goroutine forms;
@@ -26,7 +30,7 @@ func (s *Server) batcher(m *model) {
 	// leaned on GC to collect still-armed timers.
 	var ft flushTimer
 	for {
-		first, ok := <-m.queue
+		first, ok := m.q.popWait()
 		if !ok {
 			return
 		}
@@ -59,6 +63,17 @@ func (s *Server) lease() *shard {
 	case sh := <-s.pool:
 		return sh
 	case <-t.C:
+		return nil
+	}
+}
+
+// tryLease grabs a shard only if one is idle right now — the hedge path
+// must never steal capacity a queued batch is already waiting for.
+func (s *Server) tryLease() *shard {
+	select {
+	case sh := <-s.pool:
+		return sh
+	default:
 		return nil
 	}
 }
@@ -137,7 +152,8 @@ func (f *flushTimer) disarm() {
 
 // collect gathers up to maxBatch-1 followers behind first, waiting at
 // most the model's straggler deadline (ModelSpec.BatchWait, falling back
-// to Config.BatchWait). A closed queue flushes immediately.
+// to Config.BatchWait). Followers pop in WFQ/EDF order, so the batch is
+// deadline-sorted across tenants. A closed queue flushes immediately.
 func (s *Server) collect(m *model, first *request, ft *flushTimer) []*request {
 	batch := []*request{first}
 	if m.maxBatch <= 1 {
@@ -146,14 +162,18 @@ func (s *Server) collect(m *model, first *request, ft *flushTimer) []*request {
 	tick := ft.arm(s.newTimer, m.wait)
 	defer ft.disarm()
 	for len(batch) < m.maxBatch {
-		select {
-		case r, ok := <-m.queue:
-			if !ok {
-				return batch
-			}
+		if r, ok := m.q.tryPop(); ok {
 			s.queueDepth.Add(0, -1)
 			r.qspan.End()
 			batch = append(batch, r)
+			continue
+		}
+		if m.q.drained() {
+			return batch
+		}
+		select {
+		case <-m.q.notify:
+			// State changed: new work, or the queue closed. Re-check.
 		case <-tick:
 			ft.expired()
 			return batch
@@ -166,8 +186,10 @@ func (s *Server) collect(m *model, first *request, ft *flushTimer) []*request {
 // and on a retryable device fault (uncorrectable ECC error, shard
 // outage) re-dispatches the surviving requests to another shard — up to
 // MaxRetries times with exponential, jittered backoff. Requests whose
-// context expired are answered 504 and never touch a device; every
-// other request gets exactly one terminal response here.
+// context expired are answered 504 (reason deadline-expired) and never
+// touch a device; every other request gets exactly one terminal response
+// here. With HedgeDelay set, a straggling attempt is duplicated onto an
+// idle shard and the first result wins (see dispatch).
 func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 	defer s.wg.Done()
 
@@ -178,7 +200,10 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 		kept := live[:0]
 		for _, r := range live {
 			if r.ctx.Err() != nil {
-				r.resp <- response{status: http.StatusGatewayTimeout, err: r.ctx.Err()}
+				r.ten.shed[ShedDeadlineExpired].Inc(0)
+				s.shedTotal.Inc(0)
+				r.resp <- response{status: http.StatusGatewayTimeout,
+					err: &ShedError{Reason: ShedDeadlineExpired, Detail: r.ctx.Err().Error()}}
 				continue
 			}
 			kept = append(kept, r)
@@ -189,37 +214,19 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 			return
 		}
 
-		// Exec spans: one child per request (each hangs off its own root),
-		// closed with the kernel's cycle cost and phase breakdown. All
-		// attribute construction sits behind the tracer check.
-		var execs []obs.SpanHandle
-		if s.tracer != nil {
-			execs = make([]obs.SpanHandle, len(live))
-			for i, r := range live {
-				execs[i] = r.root.Child("exec").WithShard(sh.id)
-			}
-			sh.rt.BeginPhaseObs()
-		}
-		ys, ks, err := s.attempt(m, sh, live)
-		if s.tracer != nil {
-			pb := sh.rt.TakePhaseObs()
-			attrs := fmt.Sprintf("attempt=%d batch=%d %s", attempt, len(live), pb.Summary())
-			for _, h := range execs {
-				h.EndWith(ks.Cycles, attrs, err)
-			}
-		}
+		primary := sh.id
+		ys, ks, winner, err := s.dispatch(m, sh, live, attempt)
 		if err == nil {
-			kernelNs := sh.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
-			s.noteSuccess(m, sh, ks.Cycles)
-			s.pool <- sh
-			s.reply(sh.id, live, ys, ks, kernelNs, now)
+			kernelNs := winner.rt.Cfg.Timing.CyclesToNs(ks.Cycles)
+			s.noteSuccess(m, winner, ks.Cycles)
+			s.pool <- winner
+			s.reply(winner.id, live, ys, ks, kernelNs, now)
 			return
 		}
 
+		// dispatch already ran the failed shard(s) through the health
+		// machine; this loop only decides whether the batch retries.
 		canRetry := retryable(err) && attempt < s.cfg.MaxRetries
-		failedShard := sh.id
-		s.recoverShard(sh)     // the abort left banks open / PIM mode on
-		s.noteFailure(sh, err) // hands the shard to the pool or the prober
 		if !canRetry {
 			s.failBatch(live, statusFor(err), err)
 			return
@@ -229,7 +236,7 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 		if s.tracer != nil {
 			for _, r := range live {
 				s.tracer.Event(r.id, "redispatch",
-					fmt.Sprintf("attempt=%d shard=%d err=%v", attempt, failedShard, err))
+					fmt.Sprintf("attempt=%d shard=%d err=%v", attempt, primary, err))
 			}
 		}
 		time.Sleep(s.backoff(attempt))
@@ -238,6 +245,133 @@ func (s *Server) runBatch(m *model, sh *shard, batch []*request) {
 			return
 		}
 	}
+}
+
+// dispatchResult is one attempt's outcome inside dispatch.
+type dispatchResult struct {
+	ys  []fp16.Vector
+	ks  blas.KernelStats
+	err error
+	sh  *shard
+}
+
+// dispatch runs one batch attempt, hedging it onto an idle shard when
+// the primary straggles past Config.HedgeDelay. The first success wins
+// (the simulated kernels are deterministic, so primary and hedge results
+// are bit-identical — hedging can only cut tail latency, never change
+// answers); a still-running loser is reaped in the background. Contract:
+// on success the returned shard is the winner and still ours to return
+// to the pool; on error every shard this call leased has already been
+// handed to the health machine (recoverShard + noteFailure).
+func (s *Server) dispatch(m *model, sh *shard, live []*request, attempt int) ([]fp16.Vector, blas.KernelStats, *shard, error) {
+	if s.cfg.HedgeDelay <= 0 {
+		ys, ks, err := s.attemptTraced(m, sh, live, attempt, true)
+		if err != nil {
+			s.recoverShard(sh)
+			s.noteFailure(sh, err)
+			return nil, blas.KernelStats{}, nil, err
+		}
+		return ys, ks, sh, nil
+	}
+
+	results := make(chan dispatchResult, 2)
+	run := func(sh *shard, spans bool) {
+		ys, ks, err := s.attemptTraced(m, sh, live, attempt, spans)
+		results <- dispatchResult{ys: ys, ks: ks, err: err, sh: sh}
+	}
+	launched := 1
+	go run(sh, true)
+
+	ht := s.newHedgeTimer(s.cfg.HedgeDelay)
+	defer ht.Stop()
+	hedgeTick := ht.C()
+
+	var firstFail *dispatchResult
+	for launched > 0 {
+		select {
+		case r := <-results:
+			launched--
+			if r.err == nil {
+				if r.sh != sh {
+					s.hedgeWins.Inc(0)
+				}
+				if launched > 0 {
+					s.reapLoser(m, results)
+				}
+				if firstFail != nil {
+					// The other attempt already failed; its shard goes
+					// through the health machine like any failed batch.
+					s.recoverShard(firstFail.sh)
+					s.noteFailure(firstFail.sh, firstFail.err)
+				}
+				return r.ys, r.ks, r.sh, nil
+			}
+			if firstFail == nil {
+				cp := r
+				firstFail = &cp
+			} else {
+				s.recoverShard(r.sh)
+				s.noteFailure(r.sh, r.err)
+			}
+		case <-hedgeTick:
+			hedgeTick = nil // one hedge per attempt
+			if firstFail != nil {
+				continue // primary already failed; a duplicate won't help
+			}
+			if spare := s.tryLease(); spare != nil {
+				s.hedges.Inc(0)
+				launched++
+				go run(spare, false)
+			}
+		}
+	}
+	// Every launched attempt failed; account the first failure here and
+	// report it (later failures were accounted as they arrived).
+	s.recoverShard(firstFail.sh)
+	s.noteFailure(firstFail.sh, firstFail.err)
+	return nil, blas.KernelStats{}, nil, firstFail.err
+}
+
+// reapLoser waits (in the background, tracked by the drain WaitGroup)
+// for the losing hedge attempt and routes its shard home: to the pool on
+// success, through the health machine on failure.
+func (s *Server) reapLoser(m *model, results chan dispatchResult) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		r := <-results
+		if r.err == nil {
+			s.noteSuccess(m, r.sh, r.ks.Cycles)
+			s.pool <- r.sh
+			return
+		}
+		s.recoverShard(r.sh)
+		s.noteFailure(r.sh, r.err)
+	}()
+}
+
+// attemptTraced wraps attempt with the per-request exec spans. Hedge
+// attempts pass spans=false: only the primary records spans, so a
+// request never carries two concurrent exec children.
+func (s *Server) attemptTraced(m *model, sh *shard, live []*request, attempt int, spans bool) ([]fp16.Vector, blas.KernelStats, error) {
+	var execs []obs.SpanHandle
+	traced := spans && s.tracer != nil
+	if traced {
+		execs = make([]obs.SpanHandle, len(live))
+		for i, r := range live {
+			execs[i] = r.root.Child("exec").WithShard(sh.id)
+		}
+		sh.rt.BeginPhaseObs()
+	}
+	ys, ks, err := s.attempt(m, sh, live)
+	if traced {
+		pb := sh.rt.TakePhaseObs()
+		attrs := fmt.Sprintf("attempt=%d batch=%d %s", attempt, len(live), pb.Summary())
+		for _, h := range execs {
+			h.EndWith(ks.Cycles, attrs, err)
+		}
+	}
+	return ys, ks, err
 }
 
 // attempt runs one kernel launch for the batch on one shard, folding
@@ -267,6 +401,8 @@ func (s *Server) reply(shardID int, live []*request, ys []fp16.Vector, ks blas.K
 	for i, r := range live {
 		waitUs := now.Sub(r.enq).Microseconds()
 		s.queueWait.Observe(0, waitUs)
+		r.ten.served.Inc(0)
+		r.ten.queueWait.Observe(0, waitUs)
 		r.resp <- response{
 			y:            ys[i],
 			status:       http.StatusOK,

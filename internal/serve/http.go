@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -21,6 +22,11 @@ type InferRequest struct {
 	Input     []float64   `json:"input,omitempty"`
 	Inputs    [][]float64 `json:"inputs,omitempty"`
 	TimeoutMs int         `json:"timeout_ms,omitempty"`
+
+	// Tenant selects the QoS lane (Config.Tenants). The X-Tenant header
+	// is the fallback when this field is empty; unknown or absent names
+	// land in the "default" lane.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Sequence form: Frames is the ordered input-frame list; EOS, when
 	// set, names the output class whose argmax retires the sequence
@@ -62,10 +68,14 @@ type InferResponse struct {
 	Migrations   int         `json:"migrations,omitempty"`
 }
 
-// ErrorResponse is the body of every non-200 reply.
+// ErrorResponse is the body of every non-200 reply. Reason is the
+// machine-readable shed taxonomy on 429/504 responses ("queue-full",
+// "shed-by-priority", "deadline-expired") so load generators can assert
+// the shedding order; it is empty on errors that are not sheds.
 type ErrorResponse struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // Handler returns the service's HTTP mux. It is safe to serve from
@@ -97,11 +107,21 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 type inferOutcome struct {
 	status  int
 	model   string
+	tenant  string
 	inputs  int   // input vectors in the HTTP request
 	batch   int   // device batch size the (first) input was packed into
 	shard   int   // shard the (first) input executed on
 	queueUs int64 // queue wait of the first input
 	err     error
+}
+
+// reqTenant resolves the request's QoS lane: the body's `tenant` field
+// wins, then the X-Tenant header; empty means the default lane.
+func reqTenant(req *InferRequest, r *http.Request) string {
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	return r.Header.Get("X-Tenant")
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -120,6 +140,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		attrs := []any{
 			"req", id,
 			"model", o.model,
+			"tenant", o.tenant,
 			"inputs", o.inputs,
 			"batch", o.batch,
 			"shard", o.shard,
@@ -155,6 +176,7 @@ func (s *Server) doInfer(w http.ResponseWriter, r *http.Request, start time.Time
 		return o
 	}
 	o.model = req.Model
+	o.tenant = reqTenant(&req, r)
 
 	forms := 0
 	for _, set := range []bool{req.Input != nil, req.Inputs != nil, req.Frames != nil} {
@@ -204,7 +226,7 @@ func (s *Server) doInfer(w http.ResponseWriter, r *http.Request, start time.Time
 		for i, v := range in {
 			x[i] = fp16.FromFloat32(float32(v))
 		}
-		q, status, err := s.enqueue(ctx, req.Model, x, start, id, root)
+		q, status, err := s.enqueue(ctx, req.Model, o.tenant, x, start, id, root)
 		if err != nil {
 			rejStatus, rejErr = status, err
 			break
@@ -294,7 +316,7 @@ func (s *Server) doInferSeq(w http.ResponseWriter, r *http.Request, req *InferRe
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	q, status, err := s.enqueueSeq(ctx, req.Model, frames, eos, start, id, root)
+	q, status, err := s.enqueueSeq(ctx, req.Model, o.tenant, frames, eos, start, id, root)
 	if err != nil {
 		o.status, o.err = status, err
 		s.fail(w, start, o.status, o.err)
@@ -428,6 +450,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"channels":       s.cfg.Channels,
 		"max_batch":      s.cfg.MaxBatch,
 		"models":         s.Models(),
+		"tenants":        s.cfg.Tenants,
 	})
 }
 
@@ -452,9 +475,13 @@ func (s *Server) respond(w http.ResponseWriter, start time.Time, status int, bod
 	s.wallUs.Observe(0, time.Since(start).Microseconds())
 }
 
-// fail writes the error taxonomy: 400 client errors, 429 backpressure
-// (with Retry-After so well-behaved clients pace themselves), 503
-// draining, 504 deadline, 500 device faults.
+// fail writes the error taxonomy: 400 client errors, 404 unknown model,
+// 429 backpressure (with Retry-After so well-behaved clients pace
+// themselves), 503 draining, 504 deadline, 500 device faults. Shed
+// responses (429/504) additionally carry the machine-readable reason:
+// a *ShedError names it exactly; a 429/504 from any other path maps to
+// the queue-full / deadline-expired fallback, so every shed is
+// classifiable by clients.
 func (s *Server) fail(w http.ResponseWriter, start time.Time, status int, err error) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		retry := s.cfg.BatchWait * 4
@@ -468,5 +495,17 @@ func (s *Server) fail(w http.ResponseWriter, start time.Time, status int, err er
 	if err != nil {
 		msg = err.Error()
 	}
-	s.respond(w, start, status, ErrorResponse{Error: msg, Status: status})
+	reason := ""
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		reason = shed.Reason
+	} else {
+		switch status {
+		case http.StatusTooManyRequests:
+			reason = ShedQueueFull
+		case http.StatusGatewayTimeout:
+			reason = ShedDeadlineExpired
+		}
+	}
+	s.respond(w, start, status, ErrorResponse{Error: msg, Status: status, Reason: reason})
 }

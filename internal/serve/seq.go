@@ -41,8 +41,9 @@ import (
 type seqModel struct {
 	cfg   models.Config
 	plan  *nn.Plan
-	queue chan *seqRequest
-	admit int // max concurrently active slots (Config.SeqAdmit)
+	q     *fairQueue[*seqRequest] // WFQ admission queue (qos.go)
+	depth int                     // configured queue bound
+	admit int                     // max concurrently active slots (Config.SeqAdmit)
 }
 
 // seqRequest is one admitted sequence on its way through the step loop.
@@ -50,6 +51,7 @@ type seqRequest struct {
 	ctx    context.Context
 	frames []fp16.Vector
 	eos    int // class index that retires the sequence early; -1 disables
+	ten    *tenant
 	enq    time.Time
 	resp   chan seqResponse
 
@@ -81,10 +83,10 @@ type seqSlot struct {
 	migrations int
 }
 
-// enqueueSeq admits one sequence into its model's queue, mirroring
+// enqueueSeq admits one sequence into its model's fair queue, mirroring
 // enqueue's taxonomy: 404 unknown model, 400 wrong shape, 429 full
-// queue, 503 draining or no healthy shards.
-func (s *Server) enqueueSeq(ctx context.Context, name string, frames []fp16.Vector, eos int, enq time.Time, id string, root obs.SpanHandle) (*seqRequest, int, error) {
+// queue (*ShedError with reason), 503 draining or no healthy shards.
+func (s *Server) enqueueSeq(ctx context.Context, name, tenantName string, frames []fp16.Vector, eos int, enq time.Time, id string, root obs.SpanHandle) (*seqRequest, int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -117,28 +119,33 @@ func (s *Server) enqueueSeq(ctx context.Context, name string, frames []fp16.Vect
 		return nil, http.StatusServiceUnavailable,
 			fmt.Errorf("no healthy shards (probation probes running)")
 	}
-	req := &seqRequest{ctx: ctx, frames: frames, eos: eos, enq: enq,
+	ten := s.tenantFor(tenantName)
+	req := &seqRequest{ctx: ctx, frames: frames, eos: eos, ten: ten, enq: enq,
 		resp: make(chan seqResponse, 1), id: id, root: root}
 	req.qspan = root.Child("queue")
-	select {
-	case m.queue <- req:
-		s.seqAdmitted.Inc(0)
-		s.queueDepth.Add(0, 1)
-		return req, http.StatusOK, nil
-	default:
-		return nil, http.StatusTooManyRequests,
-			fmt.Errorf("model %s admission queue full (%d deep)", name, cap(m.queue))
+	if ok, reason := m.q.push(req, ten, m.depth); !ok {
+		ten.shed[reason].Inc(0)
+		s.shedTotal.Inc(0)
+		return nil, http.StatusTooManyRequests, &ShedError{
+			Reason: reason,
+			Detail: fmt.Sprintf("model %s admission queue full for tenant %s (%d deep)", name, ten.spec.Name, m.depth),
+		}
 	}
+	s.seqAdmitted.Inc(0)
+	ten.admitted.Inc(0)
+	s.queueDepth.Add(0, 1)
+	return req, http.StatusOK, nil
 }
 
 // stepper is the per-sequence-model pipeline stage: each blocking
 // receive starts one continuous-batching episode (runSeq), which owns a
 // shard until every admitted sequence has retired. Exits when the queue
-// is closed and drained — the zero-drop contract, same as batcher.
+// is closed and drained — the zero-drop contract, same as batcher. Like
+// the batcher, the stepper is its fair queue's only consumer.
 func (s *Server) stepper(m *seqModel) {
 	defer s.wg.Done()
 	for {
-		first, ok := <-m.queue
+		first, ok := m.q.popWait()
 		if !ok {
 			return
 		}
@@ -173,7 +180,12 @@ func (s *Server) runSeq(m *seqModel, first *seqRequest) {
 
 	admitOne := func(req *seqRequest) {
 		if req.ctx.Err() != nil {
-			req.resp <- seqResponse{status: http.StatusGatewayTimeout, err: req.ctx.Err(), eosAt: -1}
+			// Shed before the sequence ever touches a slot: the deadline
+			// expired while queued.
+			req.ten.shed[ShedDeadlineExpired].Inc(0)
+			s.shedTotal.Inc(0)
+			req.resp <- seqResponse{status: http.StatusGatewayTimeout, eosAt: -1,
+				err: &ShedError{Reason: ShedDeadlineExpired, Detail: req.ctx.Err().Error()}}
 			return
 		}
 		for i := range slots {
@@ -183,7 +195,9 @@ func (s *Server) runSeq(m *seqModel, first *seqRequest) {
 			_ = r.ResetSlot(i)
 			slots[i] = &seqSlot{req: req, admitted: time.Now()}
 			active++
-			s.queueWait.Observe(0, time.Since(req.enq).Microseconds())
+			waitUs := time.Since(req.enq).Microseconds()
+			s.queueWait.Observe(0, waitUs)
+			req.ten.queueWait.Observe(0, waitUs)
 			return
 		}
 	}
@@ -192,26 +206,21 @@ func (s *Server) runSeq(m *seqModel, first *seqRequest) {
 	stepRetries := 0
 	for {
 		// Admission window: between timesteps, fill free slots (bounded by
-		// SeqAdmit) from the queue without blocking the running loop.
+		// SeqAdmit) from the fair queue without blocking the running loop.
+		// Pops arrive in WFQ/EDF order, so slots go to the tenant whose
+		// turn it is and, within a tenant, to the tightest deadline.
 		for active < m.admit {
 			var req *seqRequest
 			if pending != nil {
 				req, pending = pending, nil
 			} else {
-				select {
-				case q, ok := <-m.queue:
-					if !ok {
-						q = nil // closed: stop admitting, finish what's here
-					} else {
-						s.queueDepth.Add(0, -1)
-						q.qspan.End()
-					}
-					req = q
-				default:
+				q, ok := m.q.tryPop()
+				if !ok {
+					break // empty (or closed and drained): run what's here
 				}
-				if req == nil {
-					break
-				}
+				s.queueDepth.Add(0, -1)
+				q.qspan.End()
+				req = q
 			}
 			admitOne(req)
 		}
@@ -265,6 +274,7 @@ func (s *Server) runSeq(m *seqModel, first *seqRequest) {
 				}
 				s.seqCompleted.Inc(0)
 				s.served.Inc(0)
+				sl.req.ten.served.Inc(0)
 				reply(i, seqResponse{steps: sl.out, status: http.StatusOK, eosAt: eosAt})
 			}
 		}

@@ -21,6 +21,25 @@
 // share. Close drains in-flight work without dropping any accepted
 // request.
 //
+// Admission is multi-tenant (see qos.go and docs/SERVING.md): each model
+// queue is a weighted fair queue with one lane per configured tenant
+// (request `tenant` field or X-Tenant header), EDF deadline order within
+// a lane, graduated load shedding that displaces the lowest-priority
+// queued work first (429/504 responses carry Retry-After and a
+// machine-readable shed reason), and optional hedged re-dispatch of
+// straggling batches onto an idle shard (Config.HedgeDelay) for the
+// p99.9 tail.
+//
+// Concurrency contracts a maintainer must preserve: every model queue
+// has exactly one consumer goroutine (its batcher or stepper) — the
+// fairQueue notify protocol depends on it; Tracer and Logger are
+// nil-checked at every hook site, so a nil either is zero-cost; the
+// batchers' flush timers and the hedge timer go through Server.newTimer
+// and Server.newHedgeTimer so tests can drive flushes deterministically
+// with fake timers (batchtimer_test.go) instead of sleeping; the
+// engine-determinism goldens (`make race-goldens`) pin that none of this
+// scheduling perturbs device results bit-for-bit.
+//
 // The layer is fault-tolerant: device faults (uncorrectable ECC errors,
 // whole-shard outages — see internal/fault) surface as typed errors that
 // classify as retryable, and a failed batch is re-dispatched onto a
@@ -144,6 +163,19 @@ type Config struct {
 	QueueDepth     int           // per-model admission queue (default 64)
 	RequestTimeout time.Duration // deadline incl. queueing (default 2s)
 	MaxBodyBytes   int64         // request body cap (default 8 MiB)
+
+	// Tenants declares the multi-tenant QoS lanes (see qos.go): per-tenant
+	// weighted fair queueing with graduated, priority-ordered shedding.
+	// Empty means one "default" tenant; a "default" entry is appended if
+	// missing, and requests naming an unknown tenant land there.
+	Tenants []TenantSpec
+
+	// HedgeDelay arms hedged re-dispatch: a batch still running after
+	// this long is duplicated onto an idle shard (if one is free) and the
+	// first result wins — the deterministic kernels make the duplicate
+	// bit-identical, so hedging only cuts tail latency, never changes
+	// answers. 0 (default) disables hedging.
+	HedgeDelay time.Duration
 
 	// Fault tolerance. ECC turns on every shard's on-die SEC-DED engine;
 	// Fault attaches a deterministic injector (specialized per shard via
@@ -276,7 +308,8 @@ type shard struct {
 type model struct {
 	spec     ModelSpec
 	W        fp16.Vector
-	queue    chan *request
+	q        *fairQueue[*request] // WFQ admission queue (qos.go); depth is Config.QueueDepth
+	depth    int                  // configured queue bound (pre-capacity-scaling)
 	maxBatch int
 	wait     time.Duration // straggler-flush deadline (spec override or Config.BatchWait)
 
@@ -292,6 +325,7 @@ type model struct {
 type request struct {
 	ctx  context.Context
 	x    fp16.Vector
+	ten  *tenant
 	enq  time.Time
 	resp chan response // buffered; the pipeline never blocks on a reply
 
@@ -321,6 +355,7 @@ type Server struct {
 	cfg     Config
 	mods    map[string]*model
 	seqMods map[string]*seqModel
+	tenants map[string]*tenant
 	shards  []*shard
 	pool    chan *shard
 
@@ -348,6 +383,9 @@ type Server struct {
 
 	retries      *metrics.Counter // batch re-dispatch attempts
 	redispatched *metrics.Counter // requests carried by those attempts
+	hedges       *metrics.Counter // hedged duplicate dispatches launched
+	hedgeWins    *metrics.Counter // batches answered by the hedge, not the primary
+	shedTotal    *metrics.Counter // requests shed by the QoS layer (any reason)
 	evictions    *metrics.Counter
 	revivals     *metrics.Counter
 	suspects     *metrics.Counter // healthy -> suspect demotions
@@ -373,21 +411,31 @@ type Server struct {
 	// newTimer builds the batchers' straggler-flush timers. Tests swap in
 	// a hand-driven implementation to exercise flush timing without
 	// sleeping; production always uses the time.Timer wrapper.
-	newTimer func(d time.Duration) batchTimer
+	// newHedgeTimer does the same for the hedged-dispatch delay, kept
+	// separate so flush-timer tests never see hedge timers.
+	newTimer      func(d time.Duration) batchTimer
+	newHedgeTimer func(d time.Duration) batchTimer
 }
 
 // New boots the shard pool, generates and loads every model's weights on
 // every shard, and starts one batcher per model.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	tenants, err := normalizeTenants(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tenants = tenants
 	s := &Server{
-		cfg:      cfg,
-		mods:     make(map[string]*model, len(cfg.Models)),
-		pool:     make(chan *shard, cfg.Shards),
-		probeq:   make(chan *shard, cfg.Shards),
-		quit:     make(chan struct{}),
-		reg:      metrics.New(1),
-		newTimer: newRealTimer,
+		cfg:           cfg,
+		mods:          make(map[string]*model, len(cfg.Models)),
+		tenants:       make(map[string]*tenant, len(tenants)),
+		pool:          make(chan *shard, cfg.Shards),
+		probeq:        make(chan *shard, cfg.Shards),
+		quit:          make(chan struct{}),
+		reg:           metrics.New(1),
+		newTimer:      newRealTimer,
+		newHedgeTimer: newRealTimer,
 	}
 	s.admitted = s.reg.Counter("serve_admitted_total")
 	s.served = s.reg.Counter("serve_served_total")
@@ -404,6 +452,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.retries = s.reg.Counter("serve_retries_total")
 	s.redispatched = s.reg.Counter("serve_redispatch_requests_total")
+	s.hedges = s.reg.Counter("serve_hedges_total")
+	s.hedgeWins = s.reg.Counter("serve_hedge_wins_total")
+	s.shedTotal = s.reg.Counter("serve_shed_total")
 	s.evictions = s.reg.Counter("serve_shard_evictions_total")
 	s.revivals = s.reg.Counter("serve_shard_revivals_total")
 	s.suspects = s.reg.Counter("serve_shard_suspect_total")
@@ -428,6 +479,23 @@ func New(cfg Config) (*Server, error) {
 		s.stateG[i] = s.reg.Gauge(fmt.Sprintf("serve_shard_state{shard=%q}", fmt.Sprint(i)))
 	}
 
+	// Tenants: one lane per spec in every model queue, with per-tenant
+	// admission/service/shed metrics (labels ride in the metric name, the
+	// same idiom as serve_shard_state above).
+	for _, sp := range cfg.Tenants {
+		t := &tenant{
+			spec:      sp,
+			admitted:  s.reg.Counter(fmt.Sprintf("serve_tenant_admitted_total{tenant=%q}", sp.Name)),
+			served:    s.reg.Counter(fmt.Sprintf("serve_tenant_served_total{tenant=%q}", sp.Name)),
+			queueWait: s.reg.Histogram(fmt.Sprintf("serve_tenant_queue_wait_us{tenant=%q}", sp.Name), metrics.ExpBuckets(1, 2, 24)),
+			shed:      make(map[string]*metrics.Counter, 3),
+		}
+		for _, reason := range ShedReasons() {
+			t.shed[reason] = s.reg.Counter(fmt.Sprintf("serve_tenant_shed_total{tenant=%q,reason=%q}", sp.Name, reason))
+		}
+		s.tenants[sp.Name] = t
+	}
+
 	for _, spec := range cfg.Models {
 		if spec.Name == "" || spec.M <= 0 || spec.K <= 0 {
 			return nil, fmt.Errorf("serve: invalid model spec %+v", spec)
@@ -442,7 +510,8 @@ func New(cfg Config) (*Server, error) {
 		s.mods[spec.Name] = &model{
 			spec:     spec,
 			W:        spec.Weights(),
-			queue:    make(chan *request, cfg.QueueDepth),
+			q:        newFairQueue(s.tenants, cfg.QueueDepth, func(r *request) context.Context { return r.ctx }, s.shedRequest),
+			depth:    cfg.QueueDepth,
 			maxBatch: cfg.MaxBatch,
 			wait:     wait,
 		}
@@ -469,7 +538,8 @@ func New(cfg Config) (*Server, error) {
 		s.seqMods[mc.Name] = &seqModel{
 			cfg:   mc,
 			plan:  plan,
-			queue: make(chan *seqRequest, cfg.QueueDepth),
+			q:     newFairQueue(s.tenants, cfg.QueueDepth, func(r *seqRequest) context.Context { return r.ctx }, s.shedSeqRequest),
+			depth: cfg.QueueDepth,
 			admit: cfg.SeqAdmit,
 		}
 	}
@@ -617,12 +687,13 @@ func (s *Server) Models() []ModelSpec {
 // tracing is disabled).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// enqueue admits one input vector into its model's queue. On rejection it
-// returns the HTTP status the caller should surface (400/429/503). id and
-// root are the request's tracing context (zero valued when tracing is
-// off); an admitted request carries an open queue span that the batcher
-// ends when it pops the request.
-func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq time.Time, id string, root obs.SpanHandle) (*request, int, error) {
+// enqueue admits one input vector into its model's fair queue. On
+// rejection it returns the HTTP status the caller should surface
+// (400/429/503; 429s carry a *ShedError with the machine-readable
+// reason). id and root are the request's tracing context (zero valued
+// when tracing is off); an admitted request carries an open queue span
+// that the batcher ends when it pops the request.
+func (s *Server) enqueue(ctx context.Context, name, tenantName string, x fp16.Vector, enq time.Time, id string, root obs.SpanHandle) (*request, int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -653,32 +724,63 @@ func (s *Server) enqueue(ctx context.Context, name string, x fp16.Vector, enq ti
 		return nil, http.StatusServiceUnavailable,
 			fmt.Errorf("no healthy shards (probation probes running)")
 	}
-	depth := cap(m.queue)
+	depth := m.depth
 	if healthy < s.cfg.Shards {
 		if depth = depth * healthy / s.cfg.Shards; depth < 1 {
 			depth = 1
 		}
 	}
-	if len(m.queue) >= depth {
-		return nil, http.StatusTooManyRequests,
-			fmt.Errorf("model %s admission queue full (%d deep, %d/%d shards healthy)",
-				name, depth, healthy, s.cfg.Shards)
-	}
-	req := &request{ctx: ctx, x: x, enq: enq, resp: make(chan response, 1), id: id, root: root}
-	// The queue span must exist before the send: the batcher may pop the
-	// request (and end the span) the moment it lands in the channel. On
-	// the full-queue path below the unstarted span is simply never
+	ten := s.tenantFor(tenantName)
+	req := &request{ctx: ctx, x: x, ten: ten, enq: enq, resp: make(chan response, 1), id: id, root: root}
+	// The queue span must exist before the push: the batcher may pop the
+	// request (and end the span) the moment it lands in the queue. On
+	// the rejection path below the unstarted span is simply never
 	// recorded — handles only reach the ring when ended.
 	req.qspan = root.Child("queue")
-	select {
-	case m.queue <- req:
-		s.admitted.Inc(0)
-		s.queueDepth.Add(0, 1)
-		return req, http.StatusOK, nil
-	default:
-		return nil, http.StatusTooManyRequests,
-			fmt.Errorf("model %s admission queue full (%d deep)", name, cap(m.queue))
+	if ok, reason := m.q.push(req, ten, depth); !ok {
+		ten.shed[reason].Inc(0)
+		s.shedTotal.Inc(0)
+		return nil, http.StatusTooManyRequests, &ShedError{
+			Reason: reason,
+			Detail: fmt.Sprintf("model %s admission queue full for tenant %s (%d deep, %d/%d shards healthy)",
+				name, ten.spec.Name, depth, healthy, s.cfg.Shards),
+		}
 	}
+	s.admitted.Inc(0)
+	ten.admitted.Inc(0)
+	s.queueDepth.Add(0, 1)
+	return req, http.StatusOK, nil
+}
+
+// shedRequest is the fair queue's shed callback for GEMV requests: it
+// delivers the terminal shed response (429 for priority displacement,
+// 504 for an expired deadline) and keeps the queue accounting honest.
+// Runs outside the queue lock; the buffered resp channel never blocks.
+func (s *Server) shedRequest(r *request, reason string) {
+	s.queueDepth.Add(0, -1)
+	r.qspan.End()
+	r.ten.shed[reason].Inc(0)
+	s.shedTotal.Inc(0)
+	status := http.StatusTooManyRequests
+	if reason == ShedDeadlineExpired {
+		status = http.StatusGatewayTimeout
+	}
+	r.resp <- response{status: status, err: &ShedError{Reason: reason,
+		Detail: fmt.Sprintf("request shed from queue: %s", reason)}}
+}
+
+// shedSeqRequest mirrors shedRequest for sequence requests.
+func (s *Server) shedSeqRequest(r *seqRequest, reason string) {
+	s.queueDepth.Add(0, -1)
+	r.qspan.End()
+	r.ten.shed[reason].Inc(0)
+	s.shedTotal.Inc(0)
+	status := http.StatusTooManyRequests
+	if reason == ShedDeadlineExpired {
+		status = http.StatusGatewayTimeout
+	}
+	r.resp <- seqResponse{status: status, eosAt: -1, err: &ShedError{Reason: reason,
+		Detail: fmt.Sprintf("sequence shed from queue: %s", reason)}}
 }
 
 // Close stops admission and drains: every already-accepted request still
@@ -691,10 +793,10 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	s.draining = true
 	for _, m := range s.mods {
-		close(m.queue)
+		m.q.close()
 	}
 	for _, m := range s.seqMods {
-		close(m.queue)
+		m.q.close()
 	}
 	s.mu.Unlock()
 	// Wakes the prober and lets batchers blocked on an empty pool give
