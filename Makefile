@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke model-smoke trace-smoke chaos qos-drill
+.PHONY: all build vet fmt-check test race bench bench-check race-goldens bench-serve bench-serve-check serve-smoke model-smoke trace-smoke chaos qos-drill slo-drill
 
 all: build vet test
 
@@ -48,9 +48,12 @@ race-goldens:
 # GEMV batching A/B (dynamic batching vs batch-size-1) and the sequence
 # A/B (continuous batching vs one-sequence-at-a-time on the same pool).
 # The README's "Serving" tables are regenerated from this file. Fails if
-# either gain ever drops below 2x.
+# either gain ever drops below 2x, or if the batched run violates the
+# (generous) SLO gate — the machine-readable verdict line documents the
+# margin in CI logs either way.
 bench-serve:
-	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 > serve_bench.txt
+	$(GO) run ./cmd/pimload -compare -bench -requests 192 -conc 8 -min-gain 2 \
+	    -slo 'p99=500ms,avail=0.99' > serve_bench.txt
 	$(GO) run ./cmd/pimload -seq -compare -bench -model ds2-small \
 	    -seqs 24 -conc 8 -seqlen-dist uniform:8:16 -verify=false -min-gain 2 >> serve_bench.txt
 	$(GO) run ./tools/benchjson -out BENCH_serve.json < serve_bench.txt
@@ -110,3 +113,16 @@ chaos:
 qos-drill:
 	$(GO) test -race -count=1 -run 'QoS|FairQueue|Tenant|DeadlineExpired|Hedged' ./internal/serve
 	$(GO) run ./cmd/pimload -qos -scenario all -out qos_tenants.json
+
+# slo-drill proves the SLO story from docs/SLO.md deterministically and
+# under the race detector: the windowed-metrics layer (ring rotation,
+# fake clocks, Prometheus round-trip), the burn-rate state machine and
+# exemplar ring, the fake-clock burn/recover drill matrix, and the
+# closed hedge-delay control loop end to end through internal/serve.
+# Then scripts/slo_drill.sh boots a real pimserve with objectives armed,
+# drives load, and writes the live /debug/ops document to slo_ops.json
+# (CI uploads it) after asserting it is well-formed.
+slo-drill:
+	$(GO) test -race -count=1 ./internal/metrics ./internal/slo
+	$(GO) test -race -count=1 -run 'SLO|DebugOps|DebugSlow|Window' ./internal/serve
+	bash scripts/slo_drill.sh slo_ops.json

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"pimsim/internal/serve"
+	"pimsim/internal/slo"
 )
 
 func ctxTimeout(d time.Duration) (context.Context, context.CancelFunc) {
@@ -76,6 +77,8 @@ func main() {
 		scenario = flag.String("scenario", "all", "with -qos: one scenario name, or \"all\" (overload, bursty, mixed-priority, slow-tenant)")
 		out      = flag.String("out", "", "with -qos: write the per-tenant quantile report JSON here (e.g. qos_tenants.json)")
 
+		sloSpec = flag.String("slo", "", "gate the run on an SLO, p99=<dur>[,avail=<pct>] (e.g. p99=50ms,avail=0.99): print a machine-readable verdict line and exit nonzero on violation")
+
 		chaos       = flag.Bool("chaos", false, "run the three-phase fault drill (baseline / chaos / recovery)")
 		profile     = flag.String("fault-profile", "chaos-mild", "with -chaos: fault profile to inject")
 		faultSeed   = flag.Int64("fault-seed", 42, "with -chaos: injector seed")
@@ -83,6 +86,15 @@ func main() {
 		maxErrFrac  = flag.Float64("max-err-frac", 0.5, "with -chaos: tolerated non-OK fraction under fire")
 	)
 	flag.Parse()
+
+	var sloObj *slo.Objective
+	if *sloSpec != "" {
+		o, err := slo.ParseObjective(*sloSpec)
+		if err != nil {
+			log.Fatalf("pimload: -slo: %v", err)
+		}
+		sloObj = &o
+	}
 
 	if *compare && *url != "" {
 		log.Fatal("pimload: -compare boots its own servers; drop -url")
@@ -170,6 +182,11 @@ func main() {
 		if *minGain > 0 && gain < *minGain {
 			log.Fatalf("pimload: batching gain %.2fx below required %.2fx", gain, *minGain)
 		}
+		// The SLO gate judges the production configuration (dynamic
+		// batching), not the batch-1 baseline.
+		if !checkSLO(sloObj, batched) {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -188,9 +205,34 @@ func main() {
 	} else {
 		fmt.Print(rep)
 	}
-	if rep.Failures > 0 || rep.BadOutputs > 0 {
+	sloOK := checkSLO(sloObj, rep)
+	if rep.Failures > 0 || rep.BadOutputs > 0 || !sloOK {
 		os.Exit(1)
 	}
+}
+
+// checkSLO prints one machine-readable verdict line and reports whether
+// the run met the objective. The line is not go-bench shaped, so it
+// passes through tools/benchjson untouched. Availability counts every
+// sent request; a rejected or timed-out request spends budget exactly
+// like the serving layer's own accounting.
+func checkSLO(o *slo.Objective, r *serve.Report) bool {
+	if o == nil {
+		return true
+	}
+	avail := 0.0
+	if r.Sent > 0 {
+		avail = float64(r.OK) / float64(r.Sent)
+	}
+	p99 := time.Duration(r.WallP99Us) * time.Microsecond
+	ok := p99 <= o.LatencyP99 && avail >= o.Availability
+	verdict := "pass"
+	if !ok {
+		verdict = "fail"
+	}
+	fmt.Printf("SLO verdict=%s model=%s p99_us=%.0f p99_target_us=%d avail=%.4f avail_target=%.4f sent=%d ok=%d\n",
+		verdict, r.Model, r.WallP99Us, o.LatencyP99.Microseconds(), avail, o.Availability, r.Sent, r.OK)
+	return ok
 }
 
 // runAgainst boots an in-process server with cfg, drives it, and shuts it

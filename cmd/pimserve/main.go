@@ -58,6 +58,7 @@ import (
 	"pimsim/internal/models"
 	"pimsim/internal/obs"
 	"pimsim/internal/serve"
+	"pimsim/internal/slo"
 )
 
 // tenantFlags collects repeatable -tenant name=weight[:priority] flags
@@ -91,6 +92,27 @@ func (t *tenantFlags) Set(s string) error {
 		}
 	}
 	*t = append(*t, serve.TenantSpec{Name: name, Weight: w, Priority: p})
+	return nil
+}
+
+// sloFlags collects repeatable -slo objective specs
+// ("tenant/model:p99=<dur>,avail=<pct>"; see docs/SLO.md).
+type sloFlags []slo.Objective
+
+func (s *sloFlags) String() string {
+	parts := make([]string, 0, len(*s))
+	for _, o := range *s {
+		parts = append(parts, fmt.Sprintf("%s/%s:p99=%s,avail=%g", o.Tenant, o.Model, o.LatencyP99, o.Availability))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *sloFlags) Set(spec string) error {
+	o, err := slo.ParseObjective(spec)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, o)
 	return nil
 }
 
@@ -183,10 +205,17 @@ func main() {
 		slowReq   = flag.Duration("slow-request", 0, "dump the span tree of any request slower than this (0 = off)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = off)")
 	)
+	var (
+		sloHedge    = flag.Bool("slo-hedge", false, "close the SLO control loop: per-model hedge delays track the observed windowed p99 (seeded from -hedge-delay); requires at least one -slo")
+		sloHedgeMin = flag.Duration("slo-hedge-min", time.Millisecond, "hedge-controller floor")
+		sloHedgeMax = flag.Duration("slo-hedge-max", 250*time.Millisecond, "hedge-controller ceiling")
+	)
 	waits := batchWaitOverrides{}
 	flag.Var(waits, "model-batch-wait", "per-model batcher flush deadline override, name=duration (repeatable)")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "QoS tenant lane, name=weight[:priority] (repeatable); requests pick a lane via the tenant body field or X-Tenant header")
+	var sloObjs sloFlags
+	flag.Var(&sloObjs, "slo", "SLO objective, [tenant[/model]:]p99=<dur>[,avail=<pct>] (repeatable); arms burn-rate evaluation on /debug/ops and /debug/slow")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -236,6 +265,15 @@ func main() {
 			if !patched[name] {
 				fatal(logger, fmt.Errorf("-model-batch-wait: no served model %q", name))
 			}
+		}
+	}
+	if *sloHedge && len(sloObjs) == 0 {
+		fatal(logger, fmt.Errorf("-slo-hedge needs at least one -slo objective"))
+	}
+	if len(sloObjs) > 0 {
+		cfg.SLO = &slo.Config{Objectives: sloObjs}
+		if *sloHedge {
+			cfg.SLO.Hedge = &slo.HedgeConfig{Min: *sloHedgeMin, Max: *sloHedgeMax}
 		}
 	}
 	if *profile != "" {
@@ -317,6 +355,15 @@ func main() {
 	}
 	if *hedgeDelay > 0 {
 		logger.Info("hedged dispatch armed", "delay", hedgeDelay.String())
+	}
+	for _, o := range sloObjs {
+		logger.Info("slo objective armed",
+			"tenant", o.Tenant, "model", o.Model,
+			"p99", o.LatencyP99.String(), "avail", o.Availability)
+	}
+	if *sloHedge {
+		logger.Info("slo hedge controller armed",
+			"min", sloHedgeMin.String(), "max", sloHedgeMax.String(), "seed", hedgeDelay.String())
 	}
 	for _, c := range seqCfgs {
 		logger.Info("sequence model resident", "model", c.Name,

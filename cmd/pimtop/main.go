@@ -1,0 +1,151 @@
+// pimtop is the terminal ops view for pimserve: it polls GET
+// /metrics.json and GET /debug/ops and renders one compact dashboard —
+// windowed latency quantiles, admission and batch rates, shard health,
+// queue occupancy, and (when the server runs with -slo) every
+// objective's burn rates, error budget and state, the recent transition
+// log, and the live per-model hedge-delay targets.
+//
+//	pimtop -url http://localhost:8080
+//	pimtop -url http://localhost:8080 -once     # one snapshot, no TTY control
+//
+// -once prints a single frame and exits (nonzero if the server is
+// unreachable or returns malformed JSON) — the mode CI smoke scripts
+// assert on. Without -once the screen redraws every -interval using
+// plain ANSI clear codes; q is not intercepted, ^C exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pimsim/internal/metrics"
+	"pimsim/internal/serve"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "pimserve base URL")
+		interval = flag.Duration("interval", 2*time.Second, "poll/redraw cadence")
+		once     = flag.Bool("once", false, "print one snapshot and exit (CI mode: no screen control)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		frame, err := snapshot(client, strings.TrimRight(*url, "/"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimtop: %v\n", err)
+			os.Exit(1)
+		}
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Clear + home, then the frame: a flicker-free enough redraw
+		// without taking a dependency on a terminal library.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// snapshot fetches both endpoints and renders one frame.
+func snapshot(client *http.Client, base string) (string, error) {
+	var ops serve.OpsReport
+	if err := getJSON(client, base+"/debug/ops", &ops); err != nil {
+		return "", fmt.Errorf("%s/debug/ops: %w", base, err)
+	}
+	var snap metrics.Snapshot
+	if err := getJSON(client, base+"/metrics.json", &snap); err != nil {
+		return "", fmt.Errorf("%s/metrics.json: %w", base, err)
+	}
+	return render(base, &ops, &snap), nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render formats one dashboard frame. Pure function of its inputs so the
+// formatting is unit-testable without a server.
+func render(base string, ops *serve.OpsReport, snap *metrics.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pimtop — %s — %s\n\n", base, ops.Now.Format(time.RFC3339))
+
+	w := ops.Window
+	fmt.Fprintf(&b, "window %ds   admitted %d (%.1f/s)   requests %d\n",
+		w.WidthMs/1000, w.Admitted, w.AdmitPerSec, w.Requests)
+	fmt.Fprintf(&b, "wall p50 %s  p95 %s  p99 %s\n",
+		fmtUs(w.WallP50Us), fmtUs(w.WallP95Us), fmtUs(w.WallP99Us))
+	fmt.Fprintf(&b, "batches %d   mean %.2f   p99 %.1f   occupancy %.0f%%\n\n",
+		w.Batches, w.MeanBatch, w.BatchP99, w.OccupancyPct)
+
+	fmt.Fprintf(&b, "shards %d/%d healthy [%s]   queued %d\n",
+		ops.ShardsHealthy, ops.Shards, strings.Join(ops.ShardStates, " "), ops.QueueDepth)
+	for _, q := range ops.Queues {
+		fmt.Fprintf(&b, "  queue %-24s %d/%d\n", q.Model, q.Depth, q.Bound)
+	}
+
+	if ops.SLO != nil {
+		fmt.Fprintf(&b, "\nslo objectives\n")
+		fmt.Fprintf(&b, "  %-10s %-16s %-5s %8s %8s %7s %10s %10s %12s\n",
+			"TENANT", "MODEL", "STATE", "FAST", "SLOW", "BUDGET", "P99", "TARGET", "WINDOW")
+		for _, s := range ops.SLO.Series {
+			fmt.Fprintf(&b, "  %-10s %-16s %-5s %8.2f %8.2f %6.0f%% %10s %10s %6d/%d\n",
+				s.Tenant, s.Model, s.State, s.FastBurn, s.SlowBurn, 100*s.BudgetRemaining,
+				fmtUs(s.P99Us), fmtUs(float64(s.ObjectiveP99Us)), s.WindowBad, s.WindowTotal)
+		}
+		if len(ops.SLO.HedgeUs) > 0 {
+			models := make([]string, 0, len(ops.SLO.HedgeUs))
+			for m := range ops.SLO.HedgeUs {
+				models = append(models, m)
+			}
+			sort.Strings(models)
+			fmt.Fprintf(&b, "hedge targets:")
+			for _, m := range models {
+				fmt.Fprintf(&b, "  %s=%s", m, fmtUs(float64(ops.SLO.HedgeUs[m])))
+			}
+			fmt.Fprintln(&b)
+		}
+		if n := len(ops.SLO.Transitions); n > 0 {
+			fmt.Fprintf(&b, "transitions (last %d of %d):\n", min(5, n), n)
+			for _, tr := range ops.SLO.Transitions[max(0, n-5):] {
+				fmt.Fprintf(&b, "  %s  %s/%s  %s→%s  fast %.1f slow %.1f\n",
+					tr.At.Format("15:04:05"), tr.Tenant, tr.Model, tr.From, tr.To, tr.FastBurn, tr.SlowBurn)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "\ntotals   served %d   shed %d   retries %d   hedges %d (wins %d)\n",
+		snap.Counter("serve_served_total"), snap.Counter("serve_shed_total"),
+		snap.Counter("serve_retries_total"), snap.Counter("serve_hedges_total"),
+		snap.Counter("serve_hedge_wins_total"))
+	return b.String()
+}
+
+// fmtUs renders a microsecond quantity at a human scale.
+func fmtUs(us float64) string {
+	switch {
+	case us <= 0:
+		return "-"
+	case us < 1000:
+		return fmt.Sprintf("%.0fµs", us)
+	case us < 1e6:
+		return fmt.Sprintf("%.1fms", us/1000)
+	default:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pimsim/internal/metrics"
+	"pimsim/internal/serve"
+	"pimsim/internal/slo"
+)
+
+// TestRenderFrame pins the dashboard's shape against a canned report:
+// every section the smoke script greps for must be present.
+func TestRenderFrame(t *testing.T) {
+	ops := &serve.OpsReport{
+		Now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Window: serve.OpsWindow{
+			WidthMs: 60000, Admitted: 120, AdmitPerSec: 2.0, Requests: 118,
+			WallP50Us: 900, WallP95Us: 4200, WallP99Us: 9100,
+			Batches: 40, MeanBatch: 2.95, BatchP99: 4, OccupancyPct: 74,
+		},
+		Shards: 2, ShardsHealthy: 2, ShardStates: []string{"healthy", "healthy"},
+		QueueDepth: 3,
+		Queues:     []serve.OpsQueue{{Model: "tiny", Depth: 3, Bound: 64}},
+		SLO: &serve.OpsSLO{
+			Series: []slo.SeriesStatus{{
+				Tenant: "gold", Model: "tiny", State: "warn",
+				FastBurn: 3.2, SlowBurn: 2.4, BudgetRemaining: 0.41,
+				ObjectiveP99Us: 10000, P99Us: 9100, WindowTotal: 118, WindowBad: 6,
+			}},
+			Transitions: []slo.Transition{{
+				At:     time.Date(2026, 8, 8, 11, 59, 0, 0, time.UTC),
+				Tenant: "gold", Model: "tiny", From: "ok", To: "warn",
+				FastBurn: 3.2, SlowBurn: 2.4,
+			}},
+			HedgeUs: map[string]int64{"tiny": 6400},
+		},
+	}
+	snap := &metrics.Snapshot{Counters: map[string]int64{
+		"serve_served_total":     118,
+		"serve_shed_total":       2,
+		"serve_hedges_total":     5,
+		"serve_hedge_wins_total": 1,
+	}}
+	out := render("http://example:8080", ops, snap)
+	for _, want := range []string{
+		"window 60s",
+		"admitted 120 (2.0/s)",
+		"p99 9.1ms",
+		"shards 2/2 healthy [healthy healthy]",
+		"queue tiny",
+		"gold",
+		"warn",
+		"hedge targets:  tiny=6.4ms",
+		"ok→warn",
+		"served 118",
+		"shed 2",
+		"hedges 5 (wins 1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderWithoutSLO: a plain server's frame omits the objective table.
+func TestRenderWithoutSLO(t *testing.T) {
+	out := render("http://example:8080", &serve.OpsReport{
+		Shards: 1, ShardsHealthy: 1, ShardStates: []string{"healthy"},
+	}, &metrics.Snapshot{})
+	if strings.Contains(out, "slo objectives") {
+		t.Fatalf("frame has an slo section without an engine:\n%s", out)
+	}
+	if !strings.Contains(out, "shards 1/1 healthy") {
+		t.Fatalf("frame missing shard health:\n%s", out)
+	}
+}
+
+func TestFmtUs(t *testing.T) {
+	cases := map[float64]string{0: "-", 250: "250µs", 6400: "6.4ms", 2_500_000: "2.50s"}
+	for in, want := range cases {
+		if got := fmtUs(in); got != want {
+			t.Errorf("fmtUs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -14,8 +14,10 @@ import (
 
 	"pimsim/internal/fault"
 	"pimsim/internal/hbm"
+	"pimsim/internal/metrics"
 	"pimsim/internal/models"
 	"pimsim/internal/serve"
+	"pimsim/internal/slo"
 )
 
 func readDoc(t *testing.T, path string) string {
@@ -407,5 +409,106 @@ func TestModelServingDocNamesSurface(t *testing.T) {
 		if !strings.Contains(pimload, flagName) {
 			t.Errorf("cmd/pimload does not define flag %s named by the docs", flagName)
 		}
+	}
+}
+
+// TestSLODocMetricsExist checks every serve_ metric docs/SLO.md cites:
+// the unconditional window metrics against a booted server, and the
+// lazily-created serve_slo_ series against an engine that has seen one
+// request (label-bearing citations are matched by base name).
+func TestSLODocMetricsExist(t *testing.T) {
+	doc := readDoc(t, "docs/SLO.md")
+
+	s, err := serve.New(serve.Config{Shards: 1, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	// serve_slo_ series are created on first record: drive one request
+	// through a standalone engine with an objective and a hedge armed.
+	reg := metrics.New(1)
+	eng := slo.New(slo.Config{
+		Objectives: []slo.Objective{{LatencyP99: 10 * time.Millisecond, Availability: 0.99}},
+		EvalEvery:  -1,
+		Hedge:      &slo.HedgeConfig{Initial: 2 * time.Millisecond},
+	}, reg)
+	eng.RecordAdmit("default", "tiny")
+	eng.RecordRequest("default", "tiny", time.Millisecond, slo.OutcomeOK, "req-1")
+	eng.Evaluate()
+
+	base := func(name string) string {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			return name[:i]
+		}
+		return name
+	}
+	known := make(map[string]bool)
+	for _, snap := range []*metrics.Snapshot{s.Metrics().Snapshot(), reg.Snapshot()} {
+		for name := range snap.Counters {
+			known[base(name)] = true
+		}
+		for name := range snap.Gauges {
+			known[base(name)] = true
+		}
+		for name := range snap.Histograms {
+			known[base(name)] = true
+		}
+	}
+
+	cited := 0
+	for _, f := range strings.Fields(doc) {
+		name := strings.Trim(f, "`,.()")
+		if !strings.HasPrefix(name, "serve_") {
+			continue
+		}
+		cited++
+		if !known[base(name)] {
+			t.Errorf("docs/SLO.md cites metric %q, not registered", name)
+		}
+	}
+	if cited < 8 {
+		t.Errorf("docs/SLO.md cites only %d serve_ metrics; metrics section missing?", cited)
+	}
+}
+
+// TestSLODocNamesSurface pins the flags, endpoints and make targets
+// docs/SLO.md teaches against the strings the binaries define.
+func TestSLODocNamesSurface(t *testing.T) {
+	doc := readDoc(t, "docs/SLO.md")
+	for _, surface := range []string{
+		"-slo", "-slo-hedge", "-slo-hedge-min", "-slo-hedge-max",
+		"/debug/ops", "/debug/slow", "pimtop", "-once",
+		"make slo-drill", "slo_ops.json",
+	} {
+		if !strings.Contains(doc, surface) {
+			t.Errorf("docs/SLO.md does not mention %s", surface)
+		}
+	}
+
+	pimserve := readDoc(t, "cmd/pimserve/main.go")
+	for _, flagName := range []string{`"slo"`, `"slo-hedge"`, `"slo-hedge-min"`, `"slo-hedge-max"`} {
+		if !strings.Contains(pimserve, flagName) {
+			t.Errorf("cmd/pimserve does not define flag %s named by docs/SLO.md", flagName)
+		}
+	}
+	pimload := readDoc(t, "cmd/pimload/main.go")
+	if !strings.Contains(pimload, `"slo"`) {
+		t.Error("cmd/pimload does not define the -slo flag named by docs/SLO.md")
+	}
+	pimtop := readDoc(t, "cmd/pimtop/main.go")
+	for _, flagName := range []string{`"url"`, `"interval"`, `"once"`} {
+		if !strings.Contains(pimtop, flagName) {
+			t.Errorf("cmd/pimtop does not define flag %s named by docs/SLO.md", flagName)
+		}
+	}
+}
+
+// TestReadmeLinksSLODoc keeps the SLO story reachable from the front
+// page.
+func TestReadmeLinksSLODoc(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	if !strings.Contains(readme, "docs/SLO.md") {
+		t.Error("README.md does not link docs/SLO.md")
 	}
 }

@@ -20,6 +20,7 @@ package metrics
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -29,9 +30,13 @@ type Registry struct {
 	shards int
 
 	mu         sync.RWMutex
+	clock      Clock
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
+	winHists   map[string]*WindowHistogram
+	winCounts  map[string]*WindowCounter
+	help       map[string]string
 	collectors []Collector
 }
 
@@ -42,15 +47,41 @@ func New(shards int) *Registry {
 		shards = 1
 	}
 	return &Registry{
-		shards:   shards,
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		shards:    shards,
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		winHists:  make(map[string]*WindowHistogram),
+		winCounts: make(map[string]*WindowCounter),
+		help:      make(map[string]string),
 	}
 }
 
 // Shards returns the writer shard count.
 func (r *Registry) Shards() int { return r.shards }
+
+// SetClock installs the time source used by windowed metrics built after
+// the call (per-metric WindowOpts.Clock still wins). Tests install a fake
+// clock here before wiring the serving layer so every window in the
+// system rolls over deterministically.
+func (r *Registry) SetClock(c Clock) {
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
+// SetHelp records a # HELP line for a metric base name (label suffixes
+// stripped, so help is set once per family regardless of which series
+// registers it).
+func (r *Registry) SetHelp(name, help string) {
+	base := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+	}
+	r.mu.Lock()
+	r.help[base] = help
+	r.mu.Unlock()
+}
 
 // Counter returns the counter registered under name, creating it on first
 // use. Registering a name as two different metric kinds panics: metric
@@ -107,6 +138,46 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
+// WindowHistogram returns the sliding-window histogram registered under
+// name, creating it on first use with the given ascending bucket bounds
+// and window sizing. Windowed histograms fold into Snapshot.Histograms at
+// their full width, so the JSON and Prometheus paths export them without
+// extra plumbing.
+func (r *Registry) WindowHistogram(name string, bounds []int64, o WindowOpts) *WindowHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.winHists[name]; ok {
+		return h
+	}
+	r.checkKind(name, "window-histogram")
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: window histogram %q bounds not ascending", name))
+		}
+	}
+	o.applyDefaults(r.clock)
+	h := newWindowHistogram(name, bounds, o)
+	r.winHists[name] = h
+	return h
+}
+
+// WindowCounter returns the sliding-window rate counter registered under
+// name, creating it on first use. Windowed counters fold into
+// Snapshot.Gauges at their full width (the level "events in the last
+// Width"), so both export paths carry them automatically.
+func (r *Registry) WindowCounter(name string, o WindowOpts) *WindowCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.winCounts[name]; ok {
+		return c
+	}
+	r.checkKind(name, "window-counter")
+	o.applyDefaults(r.clock)
+	c := newWindowCounter(name, o)
+	r.winCounts[name] = c
+	return c
+}
+
 // checkKind panics when name is already registered as another kind.
 // Callers hold r.mu.
 func (r *Registry) checkKind(name, want string) {
@@ -118,6 +189,12 @@ func (r *Registry) checkKind(name, want string) {
 	}
 	if _, ok := r.hists[name]; ok && want != "histogram" {
 		panic(fmt.Sprintf("metrics: %q already registered as a histogram", name))
+	}
+	if _, ok := r.winHists[name]; ok && want != "window-histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as a window histogram", name))
+	}
+	if _, ok := r.winCounts[name]; ok && want != "window-counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as a window counter", name))
 	}
 }
 
@@ -138,6 +215,9 @@ func (r *Registry) RegisterCollector(c Collector) {
 }
 
 // Snapshot captures every metric (shards merged) plus collector output.
+// Windowed metrics are folded in at their full width: histograms into
+// Histograms, counters into Gauges (a window total is a level, not a
+// monotone count).
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.RLock()
 	counters := make([]*Counter, 0, len(r.counters))
@@ -152,13 +232,26 @@ func (r *Registry) Snapshot() *Snapshot {
 	for _, h := range r.hists {
 		hists = append(hists, h)
 	}
+	winHists := make([]*WindowHistogram, 0, len(r.winHists))
+	for _, h := range r.winHists {
+		winHists = append(winHists, h)
+	}
+	winCounts := make([]*WindowCounter, 0, len(r.winCounts))
+	for _, c := range r.winCounts {
+		winCounts = append(winCounts, c)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
 	collectors := append([]Collector(nil), r.collectors...)
 	r.mu.RUnlock()
 
 	s := &Snapshot{
 		Counters:   make(map[string]int64, len(counters)),
-		Gauges:     make(map[string]int64, len(gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Gauges:     make(map[string]int64, len(gauges)+len(winCounts)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)+len(winHists)),
+		Help:       help,
 	}
 	for _, c := range counters {
 		s.Counters[c.name] = c.Value()
@@ -168,6 +261,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for _, h := range hists {
 		s.Histograms[h.name] = h.snapshot()
+	}
+	for _, h := range winHists {
+		s.Histograms[h.name] = h.Snapshot(0)
+	}
+	for _, c := range winCounts {
+		s.Gauges[c.name] = c.Total(0)
 	}
 	for _, col := range collectors {
 		col(func(name string, v int64) { s.Counters[name] += v })

@@ -17,6 +17,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+
+	// Help maps metric base names to their # HELP text for the Prometheus
+	// writer. Excluded from JSON: it is static documentation, not data.
+	Help map[string]string `json:"-"`
 }
 
 // HistogramSnapshot is one histogram's merged state. Buckets are
@@ -87,6 +91,7 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 		Counters:   make(map[string]int64, len(s.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Help:       s.Help,
 	}
 	for name, v := range s.Counters {
 		out.Counters[name] = v - prev.Counters[name]
@@ -121,37 +126,76 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// splitName separates a metric name into its base and the label suffix
+// baked into it: "a{k=\"v\"}" → ("a", `k="v"`); a plain name has an empty
+// label part.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return name[:i], labels
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format. Label suffixes baked into metric names (`name{k="v"}`) are
-// passed through; TYPE comments are emitted once per base name.
+// carried onto every emitted line; for histograms the `le` label is
+// spliced into the existing label block (`base_bucket{k="v",le="10"}`),
+// never appended after it. HELP and TYPE comments are emitted once per
+// base name (HELP only when SetHelp registered text). Label values are
+// expected to be escaped at registration time — build names with Labels
+// to get `\\`, `\"` and newline escaping per the exposition format.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	typed := map[string]bool{}
-	emitType := func(name, kind string) error {
-		base := name
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			base = name[:i]
-		}
+	emitHeader := func(name, kind string) error {
+		base, _ := splitName(name)
 		if typed[base] {
 			return nil
 		}
 		typed[base] = true
+		if help, ok := s.Help[base]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
 		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
 		return err
 	}
-
-	for _, name := range sortedKeys(s.Counters) {
-		if err := emitType(name, "counter"); err != nil {
+	// series emits one sample line for a (possibly labeled) name with an
+	// optional suffix on the base and extra label, e.g. suffix="_bucket",
+	// extra=`le="10"`.
+	series := func(name, suffix, extra string, v int64) error {
+		base, labels := splitName(name)
+		switch {
+		case labels == "" && extra == "":
+			_, err := fmt.Fprintf(w, "%s%s %d\n", base, suffix, v)
+			return err
+		case labels == "":
+			_, err := fmt.Fprintf(w, "%s%s{%s} %d\n", base, suffix, extra, v)
+			return err
+		case extra == "":
+			_, err := fmt.Fprintf(w, "%s%s{%s} %d\n", base, suffix, labels, v)
+			return err
+		default:
+			_, err := fmt.Fprintf(w, "%s%s{%s,%s} %d\n", base, suffix, labels, extra, v)
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		if err := emitHeader(name, "counter"); err != nil {
+			return err
+		}
+		if err := series(name, "", "", s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if err := emitType(name, "gauge"); err != nil {
+		if err := emitHeader(name, "gauge"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+		if err := series(name, "", "", s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -162,27 +206,35 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(histNames)
 	for _, name := range histNames {
 		h := s.Histograms[name]
-		if err := emitType(name, "histogram"); err != nil {
+		if err := emitHeader(name, "histogram"); err != nil {
 			return err
 		}
 		var cum int64
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+			if err := series(name, "_bucket", fmt.Sprintf("le=%q", fmt.Sprint(bound)), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		if err := series(name, "_bucket", `le="+Inf"`, h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+		if err := series(name, "_sum", "", h.Sum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		if err := series(name, "_count", "", h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// escapeHelp escapes a HELP text per the exposition format (backslash and
+// newline only; quotes are legal in help text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
 }
 
 func sortedKeys(m map[string]int64) []string {

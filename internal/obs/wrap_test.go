@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestWraparoundMultipleLaps pins the ring's behavior well past one lap:
+// after several full overwrite cycles the snapshot still holds exactly
+// the newest `cap` spans, in strict oldest-first order.
+func TestWraparoundMultipleLaps(t *testing.T) {
+	const capacity, total = 4, 4*3 + 2 // three full laps plus a partial
+	tr := NewTracer(capacity)
+	for i := 0; i < total; i++ {
+		h := tr.Start("lap", fmt.Sprintf("span-%d", i))
+		h.EndWith(int64(i), "", nil)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), capacity)
+	}
+	for i, sp := range spans {
+		want := fmt.Sprintf("span-%d", total-capacity+i)
+		if sp.Name != want {
+			t.Errorf("slot %d = %s, want %s (oldest-first order broken)", i, sp.Name, want)
+		}
+	}
+	// IDs are assigned at Start in record order: oldest-first means
+	// strictly increasing across the snapshot.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Errorf("snapshot not oldest-first: ID %d follows %d", spans[i].ID, spans[i-1].ID)
+		}
+	}
+	if tr.Total() != total {
+		t.Errorf("total %d, want %d", tr.Total(), total)
+	}
+}
+
+// TestTreeSurvivesPartialEviction: when the ring wraps through the middle
+// of a request's tree, Tree returns the surviving spans — roots first,
+// no phantom entries for evicted children.
+func TestTreeSurvivesPartialEviction(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("victim", "request")
+	c1 := root.Child("queue")
+	c2 := root.Child("exec")
+	c3 := root.Child("reply")
+	// Spans land in the ring at End: record order is c1, c2, c3, root.
+	c1.End()
+	c2.End()
+	c3.End()
+	root.End()
+	// Two fillers from another request evict c1 and c2.
+	tr.Start("other", "noise-a").End()
+	tr.Start("other", "noise-b").End()
+
+	tree := tr.Tree("victim")
+	if len(tree) != 2 {
+		t.Fatalf("surviving tree has %d spans, want 2 (root+reply): %+v", len(tree), tree)
+	}
+	if tree[0].Name != "request" {
+		t.Errorf("first span = %s, want the root first", tree[0].Name)
+	}
+	if tree[1].Name != "reply" {
+		t.Errorf("second span = %s, want the surviving child", tree[1].Name)
+	}
+	for _, sp := range tree {
+		if sp.Req != "victim" {
+			t.Errorf("span %s carries req %q, want victim", sp.Name, sp.Req)
+		}
+	}
+}
+
+// TestWriteSpansAfterWraparound: exporting a snapshot taken after the
+// ring wrapped mid-tree must still emit a valid Chrome trace file —
+// parents may be gone, but the JSON is complete and schema-clean.
+func TestWriteSpansAfterWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		req := fmt.Sprintf("req-%d", i)
+		root := tr.Start(req, "request")
+		root.Child("queue").End()
+		root.Child("exec").WithShard(i%2).EndWith(int64(100+i), "batch=1", nil)
+		tr.Event(req, "redispatch", "attempt=1")
+		root.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("snapshot has %d spans, want the ring capacity 8", len(spans))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, &buf)
+	checkSchema(t, evs)
+
+	// Every surviving span shows up exactly once; nothing is duplicated or
+	// dropped by the export even though earlier parents were evicted.
+	want := map[string]int{}
+	for _, sp := range spans {
+		want[sp.Name]++
+	}
+	got := map[string]int{}
+	for _, ev := range evs {
+		if ph := ev["ph"]; ph == "X" || ph == "i" {
+			got[ev["name"].(string)]++
+		}
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("export has %d %q events, want %d", got[name], name, n)
+		}
+	}
+}
+
+// TestWriteSpansNeverTorn hammers the ring from a writer goroutine while
+// the main goroutine snapshots and exports: every export must be a
+// complete, valid JSON document — a torn read would surface here (and
+// under -race).
+func TestWriteSpansNeverTorn(t *testing.T) {
+	tr := NewTracer(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h := tr.Start(fmt.Sprintf("req-%d", i%7), "work")
+			h.Child("step").End()
+			h.EndWith(int64(i), "hot=1", nil)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := WriteSpans(&buf, tr.Snapshot()); err != nil {
+			t.Fatalf("export %d failed: %v", i, err)
+		}
+		evs := decodeChrome(t, &buf)
+		checkSchema(t, evs)
+	}
+	close(stop)
+	wg.Wait()
+}

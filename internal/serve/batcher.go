@@ -264,7 +264,12 @@ type dispatchResult struct {
 // to the pool; on error every shard this call leased has already been
 // handed to the health machine (recoverShard + noteFailure).
 func (s *Server) dispatch(m *model, sh *shard, live []*request, attempt int) ([]fp16.Vector, blas.KernelStats, *shard, error) {
-	if s.cfg.HedgeDelay <= 0 {
+	// The hedge delay is per-model and live: seeded from Config.HedgeDelay
+	// and retargeted each evaluation by the SLO engine's controller when
+	// one is armed (sloTick), so a model whose windowed p99 degrades hedges
+	// sooner without a restart.
+	hedgeDelay := time.Duration(m.hedgeNs.Load())
+	if hedgeDelay <= 0 {
 		ys, ks, err := s.attemptTraced(m, sh, live, attempt, true)
 		if err != nil {
 			s.recoverShard(sh)
@@ -282,7 +287,7 @@ func (s *Server) dispatch(m *model, sh *shard, live []*request, attempt int) ([]
 	launched := 1
 	go run(sh, true)
 
-	ht := s.newHedgeTimer(s.cfg.HedgeDelay)
+	ht := s.newHedgeTimer(hedgeDelay)
 	defer ht.Stop()
 	hedgeTick := ht.C()
 
@@ -397,6 +402,7 @@ func (s *Server) reply(shardID int, live []*request, ys []fp16.Vector, ks blas.K
 	s.deviceCycles.Add(0, ks.Cycles)
 	s.served.Add(0, int64(len(live)))
 	s.batchSize.Observe(0, int64(len(live)))
+	s.winBatch.Observe(int64(len(live)))
 	s.kernelCyc.Observe(0, ks.Cycles)
 	for i, r := range live {
 		waitUs := now.Sub(r.enq).Microseconds()

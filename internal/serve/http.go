@@ -88,6 +88,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("/debug/ops", s.handleDebugOps)
+	mux.HandleFunc("/debug/slow", s.handleDebugSlow)
 	return mux
 }
 
@@ -132,6 +134,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-ID", id)
 	root := s.tracer.Start(id, "request")
 	o := s.doInfer(w, r, start, id, root)
+	wall := time.Since(start)
+	s.winWallUs.Observe(wall.Microseconds())
+	s.recordSLO(&o, wall, id)
 	if root.Enabled() {
 		root.EndWith(0, fmt.Sprintf("model=%s inputs=%d batch=%d status=%d",
 			o.model, o.inputs, o.batch, o.status), o.err)

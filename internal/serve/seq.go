@@ -134,6 +134,8 @@ func (s *Server) enqueueSeq(ctx context.Context, name, tenantName string, frames
 	s.seqAdmitted.Inc(0)
 	ten.admitted.Inc(0)
 	s.queueDepth.Add(0, 1)
+	s.winAdmit.Inc()
+	s.slo.RecordAdmit(ten.spec.Name, name)
 	return req, http.StatusOK, nil
 }
 

@@ -75,6 +75,7 @@ import (
 	"pimsim/internal/nn"
 	"pimsim/internal/obs"
 	"pimsim/internal/runtime"
+	"pimsim/internal/slo"
 )
 
 // ModelSpec names one servable GEMV workload: y = W*x with W an M x K
@@ -211,6 +212,16 @@ type Config struct {
 	// request; nil disables access logging.
 	Tracer *obs.Tracer
 	Logger *slog.Logger
+
+	// SLO arms the objective engine (internal/slo): per-tenant×model
+	// burn-rate evaluation over sliding windows, exemplars on
+	// /debug/slow, and — when SLO.Hedge is set — the closed control loop
+	// that retargets each model's hedge delay from its observed windowed
+	// p99 instead of the static HedgeDelay. Nil disables the engine; the
+	// hooks then cost one pointer compare per request (see internal/slo's
+	// nil-receiver discipline) and hedge delays stay at HedgeDelay
+	// forever.
+	SLO *slo.Config
 }
 
 func (c *Config) applyDefaults() {
@@ -319,6 +330,12 @@ type model struct {
 	// minCycles is the best per-request kernel cycle count observed: the
 	// latency baseline that SuspectCycleFactor multiplies.
 	minCycles atomic.Int64
+
+	// hedgeNs is the live hedge delay for this model's dispatches,
+	// seeded from Config.HedgeDelay and retargeted by the SLO engine's
+	// hedge controller when Config.SLO.Hedge is armed. Read by dispatch
+	// on every batch; <= 0 disables hedging for the model.
+	hedgeNs atomic.Int64
 }
 
 // request is one admitted input vector on its way to a shard.
@@ -405,6 +422,14 @@ type Server struct {
 	seqOccupancy  *metrics.Histogram // active slots per executed step
 	seqStepCyc    *metrics.Histogram // device cycles per step (all slots)
 
+	// Sliding-window server metrics: what the last minute looked like,
+	// feeding /debug/ops and the SLO engine-independent parts of pimtop.
+	winWallUs *metrics.WindowHistogram // request wall time, all /v1/infer
+	winBatch  *metrics.WindowHistogram // device batch sizes formed
+	winAdmit  *metrics.WindowCounter   // admissions (gemv + sequence)
+
+	slo *slo.Engine // nil = SLO engine disabled (hooks are no-ops)
+
 	tracer *obs.Tracer  // nil = tracing disabled
 	logger *slog.Logger // nil = access logging disabled
 
@@ -470,8 +495,30 @@ func New(cfg Config) (*Server, error) {
 	s.seqEOS = s.reg.Counter("serve_seq_eos_total")
 	s.seqOccupancy = s.reg.Histogram("serve_seq_occupancy", linearBuckets(1, cfg.Channels))
 	s.seqStepCyc = s.reg.Histogram("serve_seq_step_cycles", metrics.ExpBuckets(64, 2, 26))
+	// Sliding-window views of the pipeline (default 60s of 2s slots):
+	// the "last minute" the ops surface and pimtop summarize, alongside
+	// the cumulative series above.
+	s.winWallUs = s.reg.WindowHistogram("serve_window_request_wall_us", metrics.ExpBuckets(1, 2, 26), metrics.WindowOpts{})
+	s.winBatch = s.reg.WindowHistogram("serve_window_batch_size", linearBuckets(1, cfg.Channels), metrics.WindowOpts{})
+	s.winAdmit = s.reg.WindowCounter("serve_window_admitted", metrics.WindowOpts{})
+	s.reg.SetHelp("serve_window_request_wall_us", "request wall time over the sliding window (us)")
+	s.reg.SetHelp("serve_window_batch_size", "device batch sizes formed over the sliding window")
+	s.reg.SetHelp("serve_window_admitted", "requests admitted over the sliding window")
 	s.tracer = cfg.Tracer
 	s.logger = cfg.Logger
+	if cfg.SLO != nil {
+		sc := *cfg.SLO
+		if sc.Hedge != nil {
+			// Seed the controller from the static delay so the first
+			// batches hedge like the operator asked, then track p99.
+			h := *sc.Hedge
+			if h.Initial <= 0 {
+				h.Initial = cfg.HedgeDelay
+			}
+			sc.Hedge = &h
+		}
+		s.slo = slo.New(sc, s.reg)
+	}
 	// Per-shard health-state gauges: 0 healthy, 1 suspect, 2 evicted (an
 	// evicted shard is in probation — the prober owns it).
 	s.stateG = make([]*metrics.Gauge, cfg.Shards)
@@ -507,7 +554,7 @@ func New(cfg Config) (*Server, error) {
 		if wait <= 0 {
 			wait = cfg.BatchWait
 		}
-		s.mods[spec.Name] = &model{
+		m := &model{
 			spec:     spec,
 			W:        spec.Weights(),
 			q:        newFairQueue(s.tenants, cfg.QueueDepth, func(r *request) context.Context { return r.ctx }, s.shedRequest),
@@ -515,6 +562,8 @@ func New(cfg Config) (*Server, error) {
 			maxBatch: cfg.MaxBatch,
 			wait:     wait,
 		}
+		m.hedgeNs.Store(int64(cfg.HedgeDelay))
+		s.mods[spec.Name] = m
 	}
 
 	// Sequence models: validate + compile once (the Plan is immutable and
@@ -636,6 +685,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.prober()
+	if s.slo != nil && s.slo.Config().EvalEvery > 0 {
+		s.wg.Add(1)
+		go s.sloLoop()
+	}
 	return s, nil
 }
 
@@ -749,6 +802,8 @@ func (s *Server) enqueue(ctx context.Context, name, tenantName string, x fp16.Ve
 	s.admitted.Inc(0)
 	ten.admitted.Inc(0)
 	s.queueDepth.Add(0, 1)
+	s.winAdmit.Inc()
+	s.slo.RecordAdmit(ten.spec.Name, name)
 	return req, http.StatusOK, nil
 }
 

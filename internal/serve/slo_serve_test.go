@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pimsim/internal/obs"
+	"pimsim/internal/slo"
+)
+
+// sloClock is a hand-driven clock for the serve-level control-loop drill.
+type sloClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newSloClock() *sloClock { return &sloClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *sloClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sloClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestSLOHedgeControlLoop proves the closed loop end to end on a fake
+// clock: the static -hedge-delay seeds each model's live delay, healthy
+// traffic walks it down to track the observed windowed p99, a burn slams
+// it to the controller's floor, and recovery relaxes it again — all
+// through sloTick, the same path the production loop ticks.
+func TestSLOHedgeControlLoop(t *testing.T) {
+	clk := newSloClock()
+	userHedge := &slo.HedgeConfig{Min: time.Millisecond, Max: 64 * time.Millisecond, Factor: 2}
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 2, Models: []ModelSpec{tiny},
+		HedgeDelay: 8 * time.Millisecond,
+		SLO: &slo.Config{
+			Objectives: []slo.Objective{{LatencyP99: 10 * time.Millisecond, Availability: 0.99}},
+			EvalEvery:  -1, // no background loop; the test owns the cadence
+			Clock:      clk.Now,
+			Hedge:      userHedge,
+		},
+	})
+	m := s.mods[tiny.Name]
+	if got := time.Duration(m.hedgeNs.Load()); got != 8*time.Millisecond {
+		t.Fatalf("boot hedge = %v, want the static seed 8ms", got)
+	}
+	// Config.SLO.Hedge.Initial was seeded from HedgeDelay on a copy: the
+	// caller's struct must not be mutated.
+	if userHedge.Initial != 0 {
+		t.Fatalf("caller's HedgeConfig mutated: Initial = %v", userHedge.Initial)
+	}
+	if got := s.slo.Config().Hedge.Initial; got != 8*time.Millisecond {
+		t.Fatalf("engine hedge seed = %v, want 8ms", got)
+	}
+
+	// Healthy phase: 2ms completions. The controller should leave the 8ms
+	// seed and converge to Factor × p99 ≈ single-digit ms, above the floor.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			s.slo.RecordRequest("default", tiny.Name, 2*time.Millisecond, slo.OutcomeOK, "healthy")
+		}
+		s.sloTick()
+		clk.Advance(2 * time.Second)
+	}
+	steady := time.Duration(m.hedgeNs.Load())
+	if steady <= time.Millisecond || steady >= 8*time.Millisecond {
+		t.Fatalf("steady hedge = %v, want tracking p99 in (1ms, 8ms)", steady)
+	}
+	if ht := s.slo.HedgeTargets()[tiny.Name]; ht != steady {
+		t.Fatalf("model.hedgeNs %v != engine target %v", steady, ht)
+	}
+
+	// Burn phase: everything errors. Both windows blow past the page
+	// threshold and the controller slams the live delay to its floor.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 10; j++ {
+			s.slo.RecordRequest("default", tiny.Name, 0, slo.OutcomeError, "burning")
+		}
+		s.sloTick()
+		clk.Advance(2 * time.Second)
+	}
+	if got := time.Duration(m.hedgeNs.Load()); got != time.Millisecond {
+		t.Fatalf("paging hedge = %v, want floor 1ms", got)
+	}
+
+	// Recovery: clean traffic until the page clears; the delay relaxes off
+	// the floor.
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 10; j++ {
+			s.slo.RecordRequest("default", tiny.Name, 2*time.Millisecond, slo.OutcomeOK, "healthy")
+		}
+		s.sloTick()
+		clk.Advance(2 * time.Second)
+	}
+	if got := time.Duration(m.hedgeNs.Load()); got <= time.Millisecond {
+		t.Fatalf("recovered hedge = %v, want relaxed above the floor", got)
+	}
+}
+
+// TestDebugOpsEndpoint drives real traffic and checks /debug/ops is
+// well-formed JSON carrying the windowed view, shard health, queue
+// occupancy and the SLO section.
+func TestDebugOpsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 2, Models: []ModelSpec{tiny},
+		SLO: &slo.Config{
+			Objectives: []slo.Objective{{LatencyP99: 500 * time.Millisecond, Availability: 0.99}},
+			EvalEvery:  -1,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in, _ := testInput(tiny.K, 3)
+	for i := 0; i < 3; i++ {
+		resp, body := postInfer(t, ts, inferBody(t, "tiny", in))
+		if resp.StatusCode != 200 {
+			t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+		}
+	}
+	s.sloTick()
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/ops status %d", resp.StatusCode)
+	}
+	var rep OpsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("/debug/ops not valid JSON: %v", err)
+	}
+	if rep.Shards != 1 || rep.ShardsHealthy != 1 || len(rep.ShardStates) != 1 {
+		t.Fatalf("shard section wrong: %+v", rep)
+	}
+	if rep.Window.Admitted < 3 || rep.Window.Requests < 3 {
+		t.Fatalf("window missed traffic: %+v", rep.Window)
+	}
+	if rep.Window.WallP99Us <= 0 {
+		t.Fatalf("windowed p99 = %v, want > 0", rep.Window.WallP99Us)
+	}
+	foundQ := false
+	for _, q := range rep.Queues {
+		if q.Model == tiny.Name && q.Bound > 0 {
+			foundQ = true
+		}
+	}
+	if !foundQ {
+		t.Fatalf("queues missing %s: %+v", tiny.Name, rep.Queues)
+	}
+	if rep.SLO == nil || len(rep.SLO.Series) != 1 || rep.SLO.Series[0].State != "ok" {
+		t.Fatalf("slo section wrong: %+v", rep.SLO)
+	}
+	if rep.SLO.Series[0].WindowTotal < 3 {
+		t.Fatalf("slo window total = %d, want >= 3", rep.SLO.Series[0].WindowTotal)
+	}
+}
+
+// TestDebugOpsWithoutSLO: the ops surface works on a plain server (no slo
+// section), and /debug/slow 404s like the other disabled debug surfaces.
+func TestDebugOpsWithoutSLO(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 2, Models: []ModelSpec{tiny}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep OpsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("/debug/ops not valid JSON: %v", err)
+	}
+	if rep.SLO != nil {
+		t.Fatalf("slo section present without an engine: %+v", rep.SLO)
+	}
+	slow, err := ts.Client().Get(ts.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Body.Close()
+	if slow.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/slow without engine: status %d, want 404", slow.StatusCode)
+	}
+}
+
+// TestDebugSlowLinksSpans drives a burning objective through the real
+// HTTP path and checks /debug/slow resolves its exemplars to flight-
+// recorder span trees: the request IDs on the exemplars are real
+// X-Request-IDs whose root spans come back in the payload.
+func TestDebugSlowLinksSpans(t *testing.T) {
+	tracer := obs.NewTracer(256)
+	s := newTestServer(t, Config{
+		Shards: 1, Channels: 2, Models: []ModelSpec{tiny},
+		Tracer: tracer,
+		SLO: &slo.Config{
+			// 1ns objective: every successful request is refined to "slow",
+			// so a handful of posts burns the budget instantly.
+			Objectives: []slo.Objective{{LatencyP99: time.Nanosecond, Availability: 0.99}},
+			EvalEvery:  -1,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in, _ := testInput(tiny.K, 3)
+	ids := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		resp, _ := postInfer(t, ts, inferBody(t, "tiny", in))
+		if id := resp.Header.Get("X-Request-ID"); id != "" {
+			ids[id] = true
+		}
+	}
+	s.sloTick() // 100% bad: pages on the first evaluation
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/slow status %d", resp.StatusCode)
+	}
+	var out struct {
+		Burning []SlowSeries `json:"burning"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Burning) != 1 || out.Burning[0].State != "page" {
+		t.Fatalf("burning = %+v, want one paging series", out.Burning)
+	}
+	b := out.Burning[0]
+	if len(b.Exemplars) == 0 {
+		t.Fatal("no exemplars on the burning series")
+	}
+	for _, x := range b.Exemplars {
+		if !ids[x.ReqID] {
+			t.Fatalf("exemplar request id %q is not a served X-Request-ID", x.ReqID)
+		}
+	}
+	if len(b.Spans) == 0 {
+		t.Fatal("no spans resolved for the burning exemplars")
+	}
+	spanReqs := map[string]bool{}
+	for _, sp := range b.Spans {
+		spanReqs[sp.Req] = true
+	}
+	for _, x := range b.Exemplars {
+		if !spanReqs[x.ReqID] {
+			t.Fatalf("exemplar %s has no span tree in the payload", x.ReqID)
+		}
+	}
+}
+
+// TestServeSLODisabledAllocs gates the per-request cost of a server built
+// without an SLO config: the completion hook must be a pointer compare,
+// not an allocation.
+func TestServeSLODisabledAllocs(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Channels: 2, Models: []ModelSpec{tiny}})
+	o := inferOutcome{status: http.StatusOK, model: tiny.Name, tenant: "default"}
+	if n := testing.AllocsPerRun(1000, func() {
+		s.recordSLO(&o, 2*time.Millisecond, "req-1")
+	}); n != 0 {
+		t.Fatalf("disabled SLO completion hook allocates %.1f/op, want 0", n)
+	}
+}

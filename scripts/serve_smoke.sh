@@ -12,6 +12,7 @@ trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
 
 go build -o "$tmp/pimserve" ./cmd/pimserve
 go build -o "$tmp/pimload" ./cmd/pimload
+go build -o "$tmp/pimtop" ./cmd/pimtop
 
 "$tmp/pimserve" -addr 127.0.0.1:0 -shards 1 -channels 2 -queue-depth 32 \
     >"$tmp/stdout" 2>"$tmp/stderr" &
@@ -47,6 +48,27 @@ expect 400 "oversized body" -X POST --data-binary "@$tmp/huge.json" "$base/v1/in
 expect 405 "GET infer" "$base/v1/infer"
 expect 200 "metrics" "$base/metrics"
 grep -q serve_batch_size "$tmp/body" || { echo "FAIL: /metrics missing serve_batch_size"; exit 1; }
+
+# The ops surface is always on: /debug/ops must be well-formed JSON with
+# the windowed view and shard health (no slo section without -slo).
+expect 200 "debug ops" "$base/debug/ops"
+python3 - "$tmp/body" <<'EOF'
+import json, sys
+ops = json.load(open(sys.argv[1]))
+assert "window" in ops and "wall_p99_us" in ops["window"], "ops missing window section"
+assert ops["shards_healthy"] == ops["shards"] == 1, f"ops shard health wrong: {ops}"
+assert "slo" not in ops, "slo section present without -slo"
+EOF
+echo "ok: /debug/ops well-formed"
+expect 404 "debug slow without slo" "$base/debug/slow"
+
+# pimtop -once renders a frame from the live endpoints and exits zero.
+"$tmp/pimtop" -url "$base" -once > "$tmp/frame"
+grep -q 'shards 1/1 healthy' "$tmp/frame" || {
+    echo "FAIL: pimtop frame missing shard health"; cat "$tmp/frame"; exit 1; }
+grep -q 'totals' "$tmp/frame" || {
+    echo "FAIL: pimtop frame missing totals"; cat "$tmp/frame"; exit 1; }
+echo "ok: pimtop -once renders"
 
 # ~100 concurrent verified requests through the dynamic batcher.
 "$tmp/pimload" -url "$base" -model micro-256x256 -requests 104 -conc 13 -bench | tee "$tmp/closed"

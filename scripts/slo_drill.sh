@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Live half of `make slo-drill`: boots the real pimserve binary with
+# objectives and the hedge controller armed, pushes verified load
+# through it, then captures GET /debug/ops and asserts the document is
+# well-formed — windowed quantiles populated, every SLO series present
+# and evaluated. The snapshot is written to $1 (default slo_ops.json);
+# CI uploads it so every run leaves an inspectable ops document behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-slo_ops.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/pimserve" ./cmd/pimserve
+go build -o "$tmp/pimload" ./cmd/pimload
+
+"$tmp/pimserve" -addr 127.0.0.1:0 -shards 2 -channels 2 \
+    -slo 'p99=500ms,avail=0.99' -hedge-delay 8ms -slo-hedge \
+    -slo-hedge-min 1ms -slo-hedge-max 64ms \
+    >"$tmp/stdout" 2>"$tmp/stderr" &
+pid=$!
+
+for _ in $(seq 100); do
+    grep -q '^listening on ' "$tmp/stdout" 2>/dev/null && break
+    sleep 0.1
+done
+addr=$(sed -n 's/^listening on //p' "$tmp/stdout")
+[ -n "$addr" ] || { echo "pimserve never came up"; cat "$tmp/stderr"; exit 1; }
+base="http://$addr"
+echo "pimserve up at $base (slo armed)"
+
+grep -q 'slo objective armed' "$tmp/stderr" || {
+    echo "FAIL: boot log missing 'slo objective armed'"; cat "$tmp/stderr"; exit 1; }
+grep -q 'slo hedge controller armed' "$tmp/stderr" || {
+    echo "FAIL: boot log missing 'slo hedge controller armed'"; cat "$tmp/stderr"; exit 1; }
+
+# Verified load with the generous objective gated in-process: the run
+# itself fails on an SLO violation, and its verdict line is pinned here.
+"$tmp/pimload" -url "$base" -model micro-256x256 -requests 64 -conc 8 \
+    -slo 'p99=500ms,avail=0.99' -bench | tee "$tmp/load"
+grep -q '^SLO verdict=pass ' "$tmp/load" || {
+    echo "FAIL: pimload printed no passing SLO verdict"; exit 1; }
+
+# Give the 2s evaluation loop one tick over the traffic, then snapshot.
+sleep 2.5
+curl -sf "$base/debug/ops" > "$out"
+
+python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    ops = json.load(f)
+w = ops["window"]
+assert w["admitted"] >= 64, f"window admitted {w['admitted']}, want >= 64"
+assert w["requests"] >= 64, f"window requests {w['requests']}, want >= 64"
+assert w["wall_p99_us"] > 0, "windowed p99 not populated"
+assert ops["shards_healthy"] == ops["shards"] == 2, "shard health wrong"
+slo = ops["slo"]
+assert slo["series"], "no SLO series after traffic"
+s = slo["series"][0]
+assert s["state"] == "ok", f"series state {s['state']}, want ok under light load"
+assert s["window_total"] >= 64, f"slo window total {s['window_total']}"
+assert slo["hedge_delay_us"], "no live hedge targets with -slo-hedge armed"
+for model, us in slo["hedge_delay_us"].items():
+    assert 1000 <= us <= 64000, f"hedge target {model}={us}us outside [min,max]"
+print("ops document well-formed:",
+      f"p99={w['wall_p99_us']:.0f}us state={s['state']}",
+      f"hedge={slo['hedge_delay_us']}")
+EOF
+
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: pimserve exited nonzero"; cat "$tmp/stderr"; exit 1; }
+unset pid
+echo "slo drill passed; ops snapshot in $out"
